@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure at reduced scale (set
+``REPRO_FULL=1`` for larger runs) and prints the same rows/series the paper
+reports.  The ``report`` fixture bypasses pytest's output capture so the
+tables appear on the console, and also archives them under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import Scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """Run-size knobs (reduced by default, REPRO_FULL=1 for paper scale)."""
+    return Scale.from_env()
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print a result table to the live console and archive it."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,77 @@
+"""Ablation: both of ECN#'s components are necessary (Section 3.3).
+
+Removes one component at a time and reruns the two microscopic scenarios:
+
+* instantaneous-only (= DCTCP-RED/TCN): keeps a standing queue at the
+  threshold -- the latency problem ECN# exists to fix;
+* persistent-only (ins_target effectively disabled): controls the standing
+  queue but reacts too slowly to incast bursts and loses packets first --
+  CoDel's failure mode;
+* full ECN#: low standing queue AND burst-clean.
+
+This regenerates the paper's design rationale as a measurable table rather
+than prose.
+"""
+
+from repro.core import EcnSharp, EcnSharpConfig, SojournRed
+from repro.experiments.figures.fig10 import run_microscopic
+from repro.experiments.report import format_table
+from repro.sim.units import ms, us
+
+VARIANTS = {
+    "instantaneous-only": lambda: SojournRed(us(220)),
+    "persistent-only": lambda: EcnSharp(
+        # A 10 ms ins_target never fires on a 1 MB (800 us) buffer.
+        EcnSharpConfig(ins_target=ms(10), pst_target=us(10), pst_interval=us(240))
+    ),
+    "full ECN#": lambda: EcnSharp(
+        EcnSharpConfig(ins_target=us(220), pst_target=us(10), pst_interval=us(240))
+    ),
+}
+
+BURST_FANOUT = 200  # past CoDel-style persistent-only schemes' loss onset
+
+
+def run_ablation(seed: int = 91):
+    return {
+        name: run_microscopic(factory, scheme_name=name, fanout=BURST_FANOUT, seed=seed)
+        for name, factory in VARIANTS.items()
+    }
+
+
+def test_ablation_ecn_sharp_components(benchmark, report):
+    runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{run.standing_queue_pkts:.1f}",
+            f"{run.floor_queue_pkts:.1f}",
+            str(run.drops),
+            str(run.query_timeouts),
+        ]
+        for name, run in runs.items()
+    ]
+    report(
+        format_table(
+            ["variant", "standing q (pkt)", "floor q (5ms)", "drops", "timeouts"],
+            rows,
+            title=(
+                f"Ablation: ECN# components ({BURST_FANOUT}-flow burst over "
+                "background flows)"
+            ),
+        )
+    )
+
+    instantaneous = runs["instantaneous-only"]
+    persistent = runs["persistent-only"]
+    full = runs["full ECN#"]
+
+    # Instantaneous-only keeps the standing queue the others remove.
+    assert instantaneous.standing_queue_pkts > 2.5 * full.standing_queue_pkts
+    # Persistent-only is the only variant that loses packets under the burst.
+    assert persistent.drops > 0
+    assert full.drops == 0
+    assert instantaneous.drops == 0
+    # Full ECN# keeps the low standing queue of persistent-only.
+    assert full.standing_queue_pkts < instantaneous.standing_queue_pkts * 0.4

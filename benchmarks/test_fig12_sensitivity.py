@@ -1,0 +1,32 @@
+"""Figure 12: ECN# parameter sensitivity.
+
+Paper shape: sweeping pst_interval over 100-250 us and pst_target over
+6-18 us moves overall average FCT by <1% (web search) and <0.2% (data
+mining) -- ECN# needs no careful tuning.  At reduced scale run-to-run noise
+is larger, so the bound asserted here is a few percent.
+"""
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12_parameter_sensitivity(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig12.run_fig12,
+        kwargs={
+            "n_flows_web": max(60, scale.n_flows_web_search // 2),
+            "n_flows_mining": max(30, scale.n_flows_data_mining // 2),
+            "seed": 71,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report(fig12.render(result))
+
+    for workload in ("web-search", "data-mining"):
+        interval_spread = result.interval_spread(workload)
+        target_spread = result.target_spread(workload)
+        assert interval_spread is not None and target_spread is not None
+        # Paper: <1%; reduced-scale runs carry ~10% seed noise (data mining
+        # especially: 60 flows per point), so the bound here is loose.
+        assert interval_spread < 0.15
+        assert target_spread < 0.15

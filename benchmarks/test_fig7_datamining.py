@@ -1,0 +1,34 @@
+"""Figure 7: testbed FCT vs load under data mining (4 schemes, 3x variation).
+
+Paper shape mirrors Figure 6 (ECN# up to -31.2% short-flow avg / -37.6% p99
+vs DCTCP-RED-Tail; RED-AVG loses up to 20.5% on large flows) with ECN#
+performing best overall at all loads on this workload.
+"""
+
+from repro.experiments.figures import fig6_fig7
+
+
+def test_fig7_datamining_fct_vs_load(benchmark, report, scale):
+    result = benchmark.pedantic(
+        fig6_fig7.run_fig7,
+        kwargs={
+            "loads": scale.loads,
+            "n_flows": scale.n_flows_data_mining,
+            "seed": 22,
+            "n_seeds": scale.n_seeds,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report(fig6_fig7.render(result, "Figure 7"))
+
+    # ECN# improves short flows somewhere in the load range without a
+    # large-flow penalty.
+    best_gain = result.best_short_avg_gain("ECN#")
+    assert best_gain is not None and best_gain > 0.0
+    for load in result.loads:
+        norm = result.normalized(load, "ECN#")
+        if norm.large_avg is not None:
+            assert norm.large_avg < 1.12
+        if norm.overall_avg is not None:
+            assert norm.overall_avg < 1.10

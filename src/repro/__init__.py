@@ -1,0 +1,53 @@
+"""repro: reproduction of "Enabling ECN for Datacenter Networks with RTT
+Variations" (ECN#, CoNEXT 2019).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the ECN# AQM (Algorithm 1) and its baselines
+  (DCTCP-RED, CoDel, TCN) plus threshold math (Equations 1-2).
+* :mod:`repro.sim` -- a packet-level discrete-event network simulator.
+* :mod:`repro.tcp` -- DCTCP and ECN-enabled NewReno transports.
+* :mod:`repro.netem` -- base-RTT variation emulation (Table 1 components).
+* :mod:`repro.topology` -- testbed star, incast rig, leaf-spine fabric.
+* :mod:`repro.workloads` -- web-search / data-mining CDFs, Poisson arrivals,
+  incast bursts.
+* :mod:`repro.dataplane` -- Tofino pipeline model (Algorithm 2 clock,
+  register constraints).
+* :mod:`repro.measurement` -- in-simulator RTT probing (PingMesh stand-in).
+* :mod:`repro.experiments` -- harness regenerating every table and figure.
+"""
+
+from .core import (
+    Codel,
+    DctcpRed,
+    EcnSharp,
+    EcnSharpConfig,
+    SojournRed,
+    Tcn,
+    derive_ecn_sharp_params,
+    marking_threshold_bytes,
+    marking_threshold_seconds,
+)
+from .sim import Network, Simulator
+from .tcp import DctcpSender, FlowHandle, RenoSender, open_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Codel",
+    "DctcpRed",
+    "EcnSharp",
+    "EcnSharpConfig",
+    "SojournRed",
+    "Tcn",
+    "derive_ecn_sharp_params",
+    "marking_threshold_bytes",
+    "marking_threshold_seconds",
+    "Network",
+    "Simulator",
+    "DctcpSender",
+    "FlowHandle",
+    "RenoSender",
+    "open_flow",
+    "__version__",
+]

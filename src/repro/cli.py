@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate any paper experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig6 --full
+    python -m repro run fig11 --seed 7
+
+``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
+experiments accept a ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from .experiments.figures import (
+    fig2,
+    fig3,
+    fig5,
+    fig6_fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+from .experiments.runner import Scale
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(scale: Scale, seed: int) -> str:
+    return table1.render(table1.run_table1(seed=seed))
+
+
+def _run_fig2(scale: Scale, seed: int) -> str:
+    return fig2.render(
+        fig2.run_fig2(
+            seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
+        )
+    )
+
+
+def _run_fig3(scale: Scale, seed: int) -> str:
+    return fig3.render(
+        fig3.run_fig3(
+            seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
+        )
+    )
+
+
+def _run_fig5(scale: Scale, seed: int) -> str:
+    return fig5.render(fig5.run_fig5())
+
+
+def _run_fig6(scale: Scale, seed: int) -> str:
+    result = fig6_fig7.run_fig6(
+        loads=scale.loads,
+        n_flows=scale.n_flows_web_search,
+        seed=seed,
+        n_seeds=scale.n_seeds,
+    )
+    return fig6_fig7.render(result, "Figure 6")
+
+
+def _run_fig7(scale: Scale, seed: int) -> str:
+    result = fig6_fig7.run_fig7(
+        loads=scale.loads,
+        n_flows=scale.n_flows_data_mining,
+        seed=seed,
+        n_seeds=scale.n_seeds,
+    )
+    return fig6_fig7.render(result, "Figure 7")
+
+
+def _run_fig8(scale: Scale, seed: int) -> str:
+    return fig8.render(
+        fig8.run_fig8(
+            n_flows=scale.n_flows_web_search, seed=seed, n_seeds=scale.n_seeds
+        )
+    )
+
+
+def _run_fig9(scale: Scale, seed: int) -> str:
+    return fig9.render(
+        fig9.run_fig9(
+            loads=scale.leafspine_loads,
+            n_flows=scale.n_flows_leafspine,
+            seed=seed,
+            dims=scale.leafspine_dims,
+            n_seeds=scale.n_seeds,
+        )
+    )
+
+
+def _run_fig10(scale: Scale, seed: int) -> str:
+    return fig10.render(fig10.run_fig10(seed=seed))
+
+
+def _run_fig11(scale: Scale, seed: int) -> str:
+    return fig11.render(fig11.run_fig11(fanouts=scale.fanouts, seed=seed))
+
+
+def _run_fig12(scale: Scale, seed: int) -> str:
+    return fig12.render(fig12.run_fig12(seed=seed))
+
+
+def _run_fig13(scale: Scale, seed: int) -> str:
+    return fig13.render(fig13.run_fig13(seed=seed))
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[Scale, int], str]]] = {
+    "table1": ("Table 1 / Fig 1: RTT variations from processing components", _run_table1),
+    "fig2": ("Fig 2: instantaneous-threshold sweep dilemma", _run_fig2),
+    "fig3": ("Fig 3: degradation vs RTT-variation magnitude", _run_fig3),
+    "fig5": ("Fig 5: workload flow-size CDFs", _run_fig5),
+    "fig6": ("Fig 6: testbed FCT vs load (web search)", _run_fig6),
+    "fig7": ("Fig 7: testbed FCT vs load (data mining)", _run_fig7),
+    "fig8": ("Fig 8: FCT under 3x-5x RTT variations", _run_fig8),
+    "fig9": ("Fig 9: leaf-spine large-scale FCT vs load", _run_fig9),
+    "fig10": ("Fig 10: microscopic queue occupancy", _run_fig10),
+    "fig11": ("Fig 11: query FCT vs incast fanout", _run_fig11),
+    "fig12": ("Fig 12: ECN# parameter sensitivity", _run_fig12),
+    "fig13": ("Fig 13: ECN# under DWRR scheduling vs TCN", _run_fig13),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Enabling ECN for Datacenter "
+        "Networks with RTT Variations' (CoNEXT 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), metavar="experiment")
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (slow; equivalent to REPRO_FULL=1)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the seed")
+    return parser
+
+
+_DEFAULT_SEEDS = {
+    "table1": 1, "fig2": 7, "fig3": 11, "fig5": 0, "fig6": 21, "fig7": 22,
+    "fig8": 31, "fig9": 41, "fig10": 51, "fig11": 61, "fig12": 71, "fig13": 81,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    description, runner = EXPERIMENTS[args.experiment]
+    scale = Scale.paper() if args.full else Scale.from_env()
+    seed = args.seed if args.seed is not None else _DEFAULT_SEEDS[args.experiment]
+    print(f"# {description} (seed={seed}, {'full' if scale.full else 'reduced'} scale)")
+    started = time.time()
+    print(runner(scale, seed))
+    print(f"# completed in {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""AQM schemes: ECN# (the paper's contribution) and its comparison baselines."""
+
+from .base import Aqm, MarkingStats, NullAqm
+from .codel import Codel
+from .ecn_sharp import EcnSharp, EcnSharpConfig
+from .ecn_sharp_prob import EcnSharpProbabilistic, ProbabilisticConfig
+from .params import (
+    LAMBDA_DCTCP,
+    LAMBDA_ECN_TCP,
+    EcnSharpRuleOfThumb,
+    derive_ecn_sharp_params,
+    marking_threshold_bytes,
+    marking_threshold_seconds,
+)
+from .red import DctcpRed, ProbabilisticRed, SojournRed
+from .tcn import Tcn
+
+__all__ = [
+    "Aqm",
+    "MarkingStats",
+    "NullAqm",
+    "Codel",
+    "EcnSharp",
+    "EcnSharpConfig",
+    "EcnSharpProbabilistic",
+    "ProbabilisticConfig",
+    "DctcpRed",
+    "SojournRed",
+    "ProbabilisticRed",
+    "Tcn",
+    "LAMBDA_DCTCP",
+    "LAMBDA_ECN_TCP",
+    "EcnSharpRuleOfThumb",
+    "derive_ecn_sharp_params",
+    "marking_threshold_bytes",
+    "marking_threshold_seconds",
+]

@@ -1,0 +1,112 @@
+"""Threshold math: Equations 1-2 and the Section 3.4 rule of thumb.
+
+The ideal instantaneous ECN marking threshold for a cut-off marker is
+
+    K = lambda * C * RTT                                       (Equation 1)
+
+in bytes, where ``lambda`` is transport-specific (1 for regular ECN TCP,
+about 0.17 for DCTCP per the SIGMETRICS'11 analysis), ``C`` the bottleneck
+capacity and ``RTT`` the base round-trip time.  The equivalent sojourn-time
+threshold divides out the capacity:
+
+    T = K / C = lambda * RTT                                   (Equation 2)
+
+Operators pick the RTT percentile; the paper's "current practice" baseline
+uses the 90th percentile (DCTCP-RED-Tail) and the contrast case uses the
+average (DCTCP-RED-AVG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LAMBDA_ECN_TCP",
+    "LAMBDA_DCTCP",
+    "marking_threshold_bytes",
+    "marking_threshold_seconds",
+    "EcnSharpRuleOfThumb",
+    "derive_ecn_sharp_params",
+]
+
+LAMBDA_ECN_TCP = 1.0
+"""Regular ECN-enabled TCP halves cwnd on a mark: lambda = 1."""
+
+LAMBDA_DCTCP = 0.17
+"""DCTCP's proportional reaction yields lambda ~= 0.17 in theory [13]."""
+
+
+def marking_threshold_bytes(lam: float, capacity_bps: float, rtt_seconds: float) -> int:
+    """Equation 1: the queue-length threshold K in bytes."""
+    if lam <= 0 or capacity_bps <= 0 or rtt_seconds <= 0:
+        raise ValueError("lambda, capacity and RTT must all be positive")
+    return int(lam * capacity_bps * rtt_seconds / 8.0)
+
+
+def marking_threshold_seconds(lam: float, rtt_seconds: float) -> float:
+    """Equation 2: the sojourn-time threshold T in seconds."""
+    if lam <= 0 or rtt_seconds <= 0:
+        raise ValueError("lambda and RTT must be positive")
+    return lam * rtt_seconds
+
+
+@dataclass(frozen=True)
+class EcnSharpRuleOfThumb:
+    """Derived ECN# parameters with the RTT statistics that produced them."""
+
+    ins_target: float
+    pst_target: float
+    pst_interval: float
+    rtt_avg: float
+    rtt_high_percentile: float
+
+
+def derive_ecn_sharp_params(
+    rtt_samples: Sequence[float],
+    lam: float = LAMBDA_ECN_TCP,
+    high_percentile: float = 90.0,
+    burst_scale: float = 1.0,
+) -> EcnSharpRuleOfThumb:
+    """Apply the Section 3.4 rule of thumb to a measured RTT distribution.
+
+    * ``ins_target`` = lambda x high-percentile RTT (Equation 2 with a tail
+      RTT, preserving throughput and burst headroom).
+    * ``pst_interval`` ~ the high-percentile RTT (one worst-case RTT so TCP
+      can react before marking escalates); ``burst_scale`` < 1 shrinks it for
+      burstier traffic as Section 3.4 suggests.
+    * ``pst_target`` >= lambda x average RTT (conservative enough to tolerate
+      queue oscillation from NIC offloads while still removing standing
+      queues).
+
+    Args:
+        rtt_samples: measured base RTTs in seconds (e.g. from
+            ``repro.measurement``, the PingMesh stand-in).
+        lam: the transport's lambda.
+        high_percentile: percentile used for the tail RTT (default 90).
+        burst_scale: multiplier on pst_interval for bursty environments.
+    """
+    if len(rtt_samples) == 0:
+        raise ValueError("need at least one RTT sample")
+    if not 0 < high_percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    if burst_scale <= 0:
+        raise ValueError("burst_scale must be positive")
+    samples = np.asarray(rtt_samples, dtype=float)
+    if np.any(samples <= 0):
+        raise ValueError("RTT samples must be positive")
+    rtt_avg = float(np.mean(samples))
+    rtt_tail = float(np.percentile(samples, high_percentile))
+    # Degenerate distributions (or float summation error on near-constant
+    # ones) can leave the mean a hair above the chosen percentile; clamp so
+    # the derived targets always form a valid EcnSharpConfig.
+    rtt_avg = min(rtt_avg, rtt_tail)
+    return EcnSharpRuleOfThumb(
+        ins_target=marking_threshold_seconds(lam, rtt_tail),
+        pst_target=marking_threshold_seconds(lam, rtt_avg),
+        pst_interval=rtt_tail * burst_scale,
+        rtt_avg=rtt_avg,
+        rtt_high_percentile=rtt_tail,
+    )

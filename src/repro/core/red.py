@@ -1,0 +1,117 @@
+"""DCTCP-RED: instantaneous ECN marking.
+
+The paper uses *DCTCP-RED* for the modified RED of the DCTCP paper: a single
+threshold ``Kmin = Kmax = K`` compared against the **instantaneous** queue,
+marking every packet while the queue exceeds K (a "cut-off" marker, not a
+probabilistic one).
+
+Two signal variants are provided:
+
+* :class:`DctcpRed` -- classic queue-length signal, evaluated at enqueue
+  against a byte threshold K (Equation 1: ``K = lambda * C * RTT``).
+* :class:`SojournRed` -- sojourn-time signal, evaluated at dequeue against a
+  time threshold T (Equation 2: ``T = lambda * RTT``).  With a single FIFO
+  these behave identically (T = K / C); with a multi-queue scheduler only the
+  sojourn variant stays meaningful, which is TCN's observation.
+
+:class:`ProbabilisticRed` implements the DCQCN-style ``Kmin < Kmax`` ramp
+discussed in Section 3.5 (probabilistic instantaneous marking), provided as
+the extension point the paper sketches for rate-based transports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sim.packet import Packet
+from .base import Aqm
+
+__all__ = ["DctcpRed", "SojournRed", "ProbabilisticRed"]
+
+
+class DctcpRed(Aqm):
+    """Instantaneous queue-length marking with a single cut-off threshold.
+
+    Args:
+        threshold_bytes: K.  A packet arriving when the instantaneous queue
+            occupancy (excluding itself) is at or above K gets CE-marked.
+    """
+
+    def __init__(self, threshold_bytes: int) -> None:
+        super().__init__()
+        if threshold_bytes <= 0:
+            raise ValueError("marking threshold must be positive")
+        self.threshold_bytes = threshold_bytes
+
+    def on_enqueue(self, packet: Packet, now: float, queue_bytes: int) -> bool:
+        self.stats.packets_seen += 1
+        if queue_bytes >= self.threshold_bytes:
+            return self._congestion_signal(packet, kind="instant")
+        return True
+
+
+class SojournRed(Aqm):
+    """Instantaneous sojourn-time marking with a single cut-off threshold.
+
+    Equivalent to DCTCP-RED through Equation 2; marks at dequeue when the
+    packet's time in queue exceeded ``threshold_seconds``.
+    """
+
+    def __init__(self, threshold_seconds: float) -> None:
+        super().__init__()
+        if threshold_seconds <= 0:
+            raise ValueError("marking threshold must be positive")
+        self.threshold_seconds = threshold_seconds
+
+    def on_dequeue(self, packet: Packet, now: float) -> bool:
+        self.stats.packets_seen += 1
+        if packet.sojourn_time(now) > self.threshold_seconds:
+            return self._congestion_signal(packet, kind="instant")
+        return True
+
+
+class ProbabilisticRed(Aqm):
+    """RED with a linear marking ramp between Kmin and Kmax (Section 3.5).
+
+    Marking probability is 0 below ``kmin_bytes``, rises linearly to
+    ``pmax`` at ``kmax_bytes``, and is 1 above ``kmax_bytes`` -- the marking
+    profile DCQCN expects from switches.
+    """
+
+    def __init__(
+        self,
+        kmin_bytes: int,
+        kmax_bytes: int,
+        pmax: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if kmin_bytes <= 0 or kmax_bytes <= 0:
+            raise ValueError("thresholds must be positive")
+        if kmax_bytes < kmin_bytes:
+            raise ValueError("Kmax must be >= Kmin")
+        if not 0.0 < pmax <= 1.0:
+            raise ValueError("pmax must be in (0, 1]")
+        self.kmin_bytes = kmin_bytes
+        self.kmax_bytes = kmax_bytes
+        self.pmax = pmax
+        self._rng = random.Random(seed)
+
+    def marking_probability(self, queue_bytes: int) -> float:
+        """The marking probability at a given instantaneous occupancy."""
+        if queue_bytes < self.kmin_bytes:
+            return 0.0
+        if queue_bytes >= self.kmax_bytes:
+            return 1.0
+        span = self.kmax_bytes - self.kmin_bytes
+        if span == 0:
+            return 1.0
+        return self.pmax * (queue_bytes - self.kmin_bytes) / span
+
+    def on_enqueue(self, packet: Packet, now: float, queue_bytes: int) -> bool:
+        self.stats.packets_seen += 1
+        probability = self.marking_probability(queue_bytes)
+        if probability > 0.0 and self._rng.random() < probability:
+            return self._congestion_signal(packet, kind="instant")
+        return True

@@ -1,0 +1,36 @@
+"""TCN: instantaneous sojourn-time ECN marking (Bai et al., CoNEXT 2016).
+
+TCN marks a packet at dequeue whenever its sojourn time exceeds a single
+static threshold.  It adapts to packet schedulers (unlike queue-length RED)
+but, as the paper shows in Section 5.4, a threshold derived from a
+high-percentile RTT still leaves persistent queues for small-RTT flows --
+ECN# inherits TCN's instantaneous marking and adds persistent-queue control.
+
+With a single FIFO queue TCN is behaviourally identical to sojourn-time
+DCTCP-RED; it is kept as a distinct class because the paper treats it as a
+separate comparison scheme and because its threshold is configured
+independently in the Figure 13 experiment (150 us).
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import Aqm
+
+__all__ = ["Tcn"]
+
+
+class Tcn(Aqm):
+    """Instantaneous sojourn-time marking with a single threshold."""
+
+    def __init__(self, threshold_seconds: float) -> None:
+        super().__init__()
+        if threshold_seconds <= 0:
+            raise ValueError("TCN threshold must be positive")
+        self.threshold_seconds = threshold_seconds
+
+    def on_dequeue(self, packet: Packet, now: float) -> bool:
+        self.stats.packets_seen += 1
+        if packet.sojourn_time(now) > self.threshold_seconds:
+            return self._congestion_signal(packet, kind="instant")
+        return True

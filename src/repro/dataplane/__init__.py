@@ -1,0 +1,26 @@
+"""Tofino dataplane model: registers, clock emulation, match-action ECN#."""
+
+from .ecn_sharp_p4 import SQRT_TABLE_SIZE, EcnSharpPipeline
+from .pipeline import MatchActionTable, Metadata, Pipeline
+from .registers import (
+    PacketPass,
+    RegisterAccessViolation,
+    RegisterArray,
+    RegisterFile,
+)
+from .timestamp import EPOCH_TICKS, TICK_SECONDS, TimestampEmulator
+
+__all__ = [
+    "SQRT_TABLE_SIZE",
+    "EcnSharpPipeline",
+    "MatchActionTable",
+    "Metadata",
+    "Pipeline",
+    "PacketPass",
+    "RegisterAccessViolation",
+    "RegisterArray",
+    "RegisterFile",
+    "EPOCH_TICKS",
+    "TICK_SECONDS",
+    "TimestampEmulator",
+]

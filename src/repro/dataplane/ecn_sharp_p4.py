@@ -1,0 +1,258 @@
+"""ECN# compiled to the match-action pipeline model (Section 4).
+
+The program mirrors the paper's resource budget -- seven match-action
+tables, five 32-bit register arrays and two 64-bit register arrays over 128
+ports -- and its two implementation techniques:
+
+* the 32-bit microsecond clock emulation (Algorithm 2, tables 1-2), and
+* one-register-one-table control flow (Figure 4c): conditions are computed
+  into metadata first, then each register is touched by exactly one action
+  of exactly one table.
+
+The ``marking_next``/``marking_count`` pair lives in one *64-bit paired
+register*: Tofino's stateful ALU can update two adjacent 32-bit words in a
+single access, which is the only way Algorithm 1's "compare now against
+marking_next, then increment the count and push marking_next forward" can
+execute in one pass -- and is why the paper's implementation reports 64-bit
+register arrays at all.  ``interval / sqrt(marking_count)`` is served from a
+precomputed lookup table, the standard dataplane substitute for arithmetic
+the ALU cannot do.
+
+All times are integer ticks of 1.024 us (the emulated clock's unit).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .pipeline import MatchActionTable, Metadata, Pipeline
+from .registers import RegisterFile
+from .timestamp import TimestampEmulator
+
+__all__ = ["EcnSharpPipeline", "SQRT_TABLE_SIZE"]
+
+SQRT_TABLE_SIZE = 1024
+"""Entries in the interval/sqrt(count) lookup; counts beyond this clamp to
+the last entry (marking is already near its maximum rate by then)."""
+
+
+class EcnSharpPipeline:
+    """ECN#'s egress-pipeline program.
+
+    Args:
+        ins_target_ticks: instantaneous marking threshold (ticks).
+        pst_target_ticks: persistent queueing target (ticks).
+        pst_interval_ticks: persistence observation interval (ticks).
+        ports: switch port count (128 on the paper's Tofino).
+    """
+
+    def __init__(
+        self,
+        ins_target_ticks: int,
+        pst_target_ticks: int,
+        pst_interval_ticks: int,
+        ports: int = 128,
+    ) -> None:
+        if min(ins_target_ticks, pst_target_ticks, pst_interval_ticks) <= 0:
+            raise ValueError("all thresholds must be positive tick counts")
+        self.ins_target = ins_target_ticks
+        self.pst_target = pst_target_ticks
+        self.pst_interval = pst_interval_ticks
+
+        self.pipeline = Pipeline(RegisterFile())
+        registers = self.pipeline.registers
+
+        # 32-bit arrays: ts_low, ts_high (declared by the emulator),
+        # first_above_time, marking_state, mark_counter -- five in total.
+        self.clock = TimestampEmulator(registers, ports=ports)
+        self.reg_first_above = registers.declare("first_above_time", ports, width=32)
+        self.reg_marking_state = registers.declare("marking_state", ports, width=32)
+        self.reg_mark_counter = registers.declare("mark_counter", ports, width=32)
+
+        # 64-bit arrays: the paired (marking_next, marking_count) register
+        # and a byte/mark statistics pair.
+        self.reg_marking = registers.declare("marking_next_count", ports, width=64)
+        self.reg_stats = registers.declare("stats_bytes_marks", ports, width=64)
+
+        # interval / sqrt(count) lookup, in ticks (match-action table in P4).
+        self._sqrt_delta: List[int] = [0] + [
+            max(1, int(round(pst_interval_ticks / math.sqrt(count))))
+            for count in range(1, SQRT_TABLE_SIZE + 1)
+        ]
+
+        self._build_tables()
+
+    # ------------------------------------------------------------- helpers
+
+    def _delta_for(self, count: int) -> int:
+        index = min(count, SQRT_TABLE_SIZE)
+        return self._sqrt_delta[index]
+
+    @staticmethod
+    def _pack(next_ticks: int, count: int) -> int:
+        return ((next_ticks & 0xFFFFFFFF) << 32) | (count & 0xFFFFFFFF)
+
+    @staticmethod
+    def _unpack(value: int) -> tuple:
+        return (value >> 32) & 0xFFFFFFFF, value & 0xFFFFFFFF
+
+    # ------------------------------------------------------------- tables
+
+    def _build_tables(self) -> None:
+        add = self.pipeline.add_table
+
+        # Tables 1-2: Algorithm 2's clock (one table per clock register).
+        from .timestamp import EPOCH_TICKS
+
+        def tbl_time_low(meta: Metadata) -> None:
+            time_low, wrapped = self.clock.step_low(
+                int(meta["egress_global_tstamp_ns"]), int(meta["port"])
+            )
+            meta["time_low"] = time_low
+            meta["wrapped"] = wrapped
+
+        def tbl_time_high(meta: Metadata) -> None:
+            high = self.clock.step_high(int(meta["wrapped"]), int(meta["port"]))
+            meta["now"] = (high * EPOCH_TICKS + int(meta["time_low"])) & 0xFFFFFFFF
+
+        add(MatchActionTable("emulate_time_low", default_action=tbl_time_low))
+        add(MatchActionTable("emulate_time_high", default_action=tbl_time_high))
+
+        # Table 3: compute sojourn-derived condition bits into metadata.
+        def tbl_conditions(meta: Metadata) -> None:
+            sojourn = int(meta["sojourn_ticks"])
+            meta["above_pst"] = sojourn >= self.pst_target
+            meta["above_ins"] = sojourn > self.ins_target
+
+        add(MatchActionTable("compute_conditions", default_action=tbl_conditions))
+
+        # Table 4: first_above_time -- one register, two exclusive actions.
+        def act_below_target(meta: Metadata) -> None:
+            self.reg_first_above.write(int(meta["port"]), 0)
+            meta["detected"] = False
+
+        def act_above_target(meta: Metadata) -> None:
+            now = int(meta["now"])
+            interval = self.pst_interval
+            out: Dict[str, bool] = {}
+
+            def update(old: int) -> tuple:
+                if old == 0:
+                    out["detected"] = False
+                    return now, 0
+                out["detected"] = now > old + interval
+                return old, 0
+
+            self.reg_first_above.read_modify_write(int(meta["port"]), update)
+            meta["detected"] = out["detected"]
+
+        add(
+            MatchActionTable(
+                "first_above_time",
+                match=lambda meta: bool(meta["above_pst"]),
+                actions={False: act_below_target, True: act_above_target},
+            )
+        )
+
+        # Table 5: marking_state register; new state = detected, output the
+        # old state (one read-modify-write).
+        def tbl_marking_state(meta: Metadata) -> None:
+            detected = bool(meta["detected"])
+
+            def update(old: int) -> tuple:
+                return (1 if detected else 0), old
+
+            old_state = self.reg_marking_state.read_modify_write(
+                int(meta["port"]), update
+            )
+            meta["was_marking"] = bool(old_state)
+
+        add(MatchActionTable("marking_state", default_action=tbl_marking_state))
+
+        # Table 6: the paired (marking_next, marking_count) 64-bit register.
+        def act_continue_marking(meta: Metadata) -> None:
+            now = int(meta["now"])
+            out: Dict[str, bool] = {}
+
+            def update(packed: int) -> tuple:
+                next_ticks, count = self._unpack(packed)
+                if now > next_ticks:
+                    count += 1
+                    next_ticks = (next_ticks + self._delta_for(count)) & 0xFFFFFFFF
+                    out["mark"] = True
+                else:
+                    out["mark"] = False
+                return self._pack(next_ticks, count), 0
+
+            self.reg_marking.read_modify_write(int(meta["port"]), update)
+            meta["persistent_mark"] = out["mark"]
+
+        def act_start_marking(meta: Metadata) -> None:
+            now = int(meta["now"])
+
+            def update(_packed: int) -> tuple:
+                return self._pack((now + self.pst_interval) & 0xFFFFFFFF, 1), 0
+
+            self.reg_marking.read_modify_write(int(meta["port"]), update)
+            meta["persistent_mark"] = True
+
+        def act_idle(meta: Metadata) -> None:
+            meta["persistent_mark"] = False
+
+        add(
+            MatchActionTable(
+                "marking_next_count",
+                match=lambda meta: (bool(meta["was_marking"]), bool(meta["detected"])),
+                actions={
+                    (True, True): act_continue_marking,
+                    (False, True): act_start_marking,
+                },
+                default_action=act_idle,
+            )
+        )
+
+        # Table 7: final decision + statistics.
+        def tbl_decide(meta: Metadata) -> None:
+            instant = bool(meta["above_ins"])
+            persistent = bool(meta["persistent_mark"])
+            meta["mark"] = instant or persistent
+            meta["mark_kind"] = (
+                "instant" if instant else ("persistent" if persistent else None)
+            )
+            if meta["mark"]:
+                self.reg_mark_counter.read_modify_write(
+                    int(meta["port"]), lambda old: (old + 1, 0)
+                )
+
+        add(MatchActionTable("mark_decision", default_action=tbl_decide))
+
+    # ----------------------------------------------------------------- API
+
+    def process_packet(
+        self,
+        egress_global_tstamp_ns: int,
+        sojourn_ticks: int,
+        port: int = 0,
+    ) -> Metadata:
+        """Run one packet through the program; returns its final metadata
+        (``mark`` is the ECN decision)."""
+        metadata: Metadata = {
+            "egress_global_tstamp_ns": egress_global_tstamp_ns,
+            "sojourn_ticks": sojourn_ticks,
+            "port": port,
+        }
+        return self.pipeline.process(metadata)
+
+    # ------------------------------------------------------------ resources
+
+    def resource_report(self) -> Dict[str, int]:
+        """The Section 4 resource summary for this program."""
+        registers = self.pipeline.registers.arrays
+        return {
+            "tables": self.pipeline.table_count(),
+            "table_entries": self.pipeline.total_entries(),
+            "register_arrays_32": sum(1 for a in registers.values() if a.width == 32),
+            "register_arrays_64": sum(1 for a in registers.values() if a.width == 64),
+            "register_bits": self.pipeline.register_bits(),
+        }

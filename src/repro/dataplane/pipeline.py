@@ -1,0 +1,100 @@
+"""Match-action pipeline model (Section 4.2, Figure 4c).
+
+The paper's key implementation technique: instead of expressing Algorithm 1
+as nested control flow (which needs multiple accesses to the same register
+and does not compile, Figure 4b), every register gets exactly one
+match-action table whose *actions* are the mutually-exclusive control-flow
+paths; conditions are evaluated beforehand and carried in packet metadata,
+and each action touches its register at most once.
+
+:class:`MatchActionTable` and :class:`Pipeline` model that structure:
+metadata is a plain dict (the PHV), a table matches a metadata-derived key
+to an action, and the register file enforces the single-access constraint
+per packet pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+from .registers import PacketPass, RegisterFile
+
+__all__ = ["Metadata", "MatchActionTable", "Pipeline"]
+
+Metadata = Dict[str, object]
+Action = Callable[[Metadata], None]
+
+
+class MatchActionTable:
+    """One logical match-action table.
+
+    Args:
+        name: table name (for diagnostics and resource accounting).
+        match: computes the match key from metadata (models the header /
+            metadata fields listed in the table's match spec).
+        actions: key -> action.  Actions are mutually exclusive by
+            construction -- exactly one runs per packet -- which is what
+            makes one-register-one-table legal on Tofino.
+        default_action: runs when no key matches (most of the paper's seven
+            tables are default-action-only).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        match: Optional[Callable[[Metadata], Hashable]] = None,
+        actions: Optional[Dict[Hashable, Action]] = None,
+        default_action: Optional[Action] = None,
+    ) -> None:
+        if actions and match is None:
+            raise ValueError(f"table {name!r} has actions but no match function")
+        self.name = name
+        self.match = match
+        self.actions = actions or {}
+        self.default_action = default_action
+        self.hit_count = 0
+
+    @property
+    def entry_count(self) -> int:
+        """Explicit table entries (default actions need none, §4)."""
+        return len(self.actions)
+
+    def apply(self, metadata: Metadata) -> None:
+        self.hit_count += 1
+        if self.match is not None:
+            key = self.match(metadata)
+            action = self.actions.get(key, self.default_action)
+        else:
+            action = self.default_action
+        if action is not None:
+            action(metadata)
+
+
+class Pipeline:
+    """An ordered sequence of tables sharing a register file."""
+
+    def __init__(self, registers: Optional[RegisterFile] = None) -> None:
+        self.registers = registers if registers is not None else RegisterFile()
+        self.tables: List[MatchActionTable] = []
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        self.tables.append(table)
+        return table
+
+    def process(self, metadata: Metadata) -> Metadata:
+        """Run one packet through every table, as one register pass."""
+        with PacketPass(self.registers):
+            for table in self.tables:
+                table.apply(metadata)
+        return metadata
+
+    # ---------------------------------------------------------- accounting
+
+    def table_count(self) -> int:
+        return len(self.tables)
+
+    def total_entries(self) -> int:
+        return sum(t.entry_count for t in self.tables)
+
+    def register_bits(self) -> int:
+        return self.registers.total_bits()

@@ -1,0 +1,147 @@
+"""Register arrays with Tofino's single-access constraint.
+
+Tofino allows a P4 program to access a given register at most once per
+packet pass -- where one *access* may be a full read-modify-write executed by
+the stateful ALU (Section 4.2: "reading a register, comparing the register
+value with another value, and then updating the register correspondingly are
+also treated as one access").
+
+:class:`RegisterArray` enforces exactly that: every read/write/read-modify-
+write counts as the array's single access for the current packet pass, and a
+second access raises :class:`RegisterAccessViolation` -- the compile error
+the paper's first control-flow implementation (Figure 4b) would hit.  The
+:class:`PacketPass` context manager delimits passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["RegisterAccessViolation", "RegisterArray", "RegisterFile", "PacketPass"]
+
+
+class RegisterAccessViolation(RuntimeError):
+    """A register array was accessed more than once in one packet pass."""
+
+
+class RegisterArray:
+    """A fixed-width register array (one cell per switch port).
+
+    Values are masked to ``width`` bits on every write, reproducing hardware
+    wraparound semantics (the 32-bit time emulation depends on this).
+    """
+
+    def __init__(self, name: str, size: int, width: int = 32) -> None:
+        if size <= 0:
+            raise ValueError("register array size must be positive")
+        if width not in (8, 16, 32, 64):
+            raise ValueError("register width must be 8/16/32/64 bits")
+        self.name = name
+        self.size = size
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._cells: List[int] = [0] * size
+        self._accessed_in_pass = False
+        self.access_count = 0
+
+    # ----------------------------------------------------------- pass hooks
+
+    def _begin_pass(self) -> None:
+        self._accessed_in_pass = False
+
+    def _note_access(self) -> None:
+        if self._accessed_in_pass:
+            raise RegisterAccessViolation(
+                f"register {self.name!r} accessed twice in one packet pass; "
+                "Tofino allows a single (possibly read-modify-write) access"
+            )
+        self._accessed_in_pass = True
+        self.access_count += 1
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register {self.name!r} index {index} out of range")
+
+    # -------------------------------------------------------------- accesses
+
+    def read(self, index: int) -> int:
+        """Read a cell (consumes the pass's single access)."""
+        self._check_index(index)
+        self._note_access()
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write a cell (consumes the pass's single access)."""
+        self._check_index(index)
+        self._note_access()
+        self._cells[index] = value & self._mask
+
+    def read_modify_write(
+        self, index: int, update: Callable[[int], Tuple[int, int]]
+    ) -> int:
+        """One stateful-ALU access: ``update(old) -> (new, output)``.
+
+        The ALU stores ``new`` and forwards ``output`` to the pipeline; this
+        is the only way to both observe and change a register in one pass.
+        """
+        self._check_index(index)
+        self._note_access()
+        old = self._cells[index]
+        new, output = update(old)
+        self._cells[index] = new & self._mask
+        return output
+
+    # ------------------------------------------------------------ debugging
+
+    def peek(self, index: int) -> int:
+        """Test-only read that bypasses access accounting."""
+        self._check_index(index)
+        return self._cells[index]
+
+    def poke(self, index: int, value: int) -> None:
+        """Test-only write that bypasses access accounting."""
+        self._check_index(index)
+        self._cells[index] = value & self._mask
+
+
+class RegisterFile:
+    """All register arrays of one P4 program, with pass management."""
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, RegisterArray] = {}
+
+    def declare(self, name: str, size: int, width: int = 32) -> RegisterArray:
+        if name in self._arrays:
+            raise ValueError(f"register {name!r} already declared")
+        array = RegisterArray(name, size, width)
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> RegisterArray:
+        return self._arrays[name]
+
+    def begin_pass(self) -> None:
+        for array in self._arrays.values():
+            array._begin_pass()
+
+    @property
+    def arrays(self) -> Dict[str, RegisterArray]:
+        return dict(self._arrays)
+
+    def total_bits(self) -> int:
+        """Register memory footprint in bits (resource accounting, §4)."""
+        return sum(a.size * a.width for a in self._arrays.values())
+
+
+class PacketPass:
+    """Context manager marking one packet's traversal of the pipeline."""
+
+    def __init__(self, registers: RegisterFile) -> None:
+        self._registers = registers
+
+    def __enter__(self) -> "PacketPass":
+        self._registers.begin_pass()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None

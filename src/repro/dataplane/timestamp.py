@@ -1,0 +1,125 @@
+"""Algorithm 2: emulate a 32-bit microsecond-granularity system time.
+
+Tofino's egress pipeline exposes a 64-bit nanosecond timestamp, but the
+stateful ALUs compare 32-bit operands only.  Using the raw lower 32 bits
+wraps every ~4.3 s (catastrophic for ``marking_next``); the upper 32 bits
+are ~4 s granular; and ``shift_right`` only takes 32-bit inputs, so the
+"shift by 10" trick cannot be applied to the full 64-bit value directly.
+
+The paper's emulation (Algorithm 2):
+
+1. take the lower 32 bits of the nanosecond timestamp,
+2. right-shift by 10, producing a 22-bit ~microsecond counter
+   (units of 1.024 us) that wraps every 2^32 ns,
+3. keep a 10-bit epoch register that increments whenever the 22-bit counter
+   wraps (detected by the counter moving backwards),
+4. emulated time = ``epoch * 2^22 + counter``, a 32-bit value in 1.024-us
+   units that wraps only every ~4295 s.
+
+One reproduction note: the paper's pseudocode increments the epoch when
+``time_low <= register_low``.  Taken literally, two packets inside the same
+1.024-us tick (routine at 10 Gbps+) would trigger a *spurious* wrap and jump
+the clock forward by ~4.3 s.  Hardware implementations use strict "moved
+backwards" detection, so this model increments only when
+``time_low < register_low``; a unit test documents why ``<=`` is wrong.
+"""
+
+from __future__ import annotations
+
+from .registers import RegisterArray, RegisterFile
+
+__all__ = ["TimestampEmulator", "TICK_SECONDS", "EPOCH_TICKS"]
+
+TICK_SECONDS = 1024e-9
+"""One emulated-clock tick: 2^10 ns = 1.024 us."""
+
+EPOCH_TICKS = 1 << 22
+"""Ticks per epoch (the 22-bit counter's period)."""
+
+_LOW_MASK = (1 << 32) - 1
+
+
+class TimestampEmulator:
+    """The Algorithm 2 state machine over two 32-bit registers.
+
+    Args:
+        registers: register file to declare ``ts_low`` / ``ts_high`` in.
+        ports: number of switch ports (register array size).
+        verbatim_wraparound: use the paper's literal ``<=`` wrap test
+            instead of the corrected ``<`` (for the unit test demonstrating
+            the spurious-wrap hazard).
+    """
+
+    def __init__(
+        self,
+        registers: RegisterFile,
+        ports: int = 128,
+        verbatim_wraparound: bool = False,
+    ) -> None:
+        self.reg_low: RegisterArray = registers.declare("ts_low", ports, width=32)
+        self.reg_high: RegisterArray = registers.declare("ts_high", ports, width=32)
+        self.verbatim_wraparound = verbatim_wraparound
+
+    def step_low(self, egress_global_tstamp_ns: int, port: int = 0) -> tuple:
+        """First pipeline stage: one access to ``ts_low``.
+
+        Returns ``(time_low, wrapped)``: the 22-bit tick counter and whether
+        it moved backwards since the previous packet (an epoch wrap).
+        """
+        if egress_global_tstamp_ns < 0:
+            raise ValueError("timestamp cannot be negative")
+        tmp_tstamp = egress_global_tstamp_ns & _LOW_MASK  # lower_32bits
+        time_low = tmp_tstamp >> 10  # shift_right by 10 -> 22 bits
+
+        wrap_test = (
+            (lambda old: time_low <= old)
+            if self.verbatim_wraparound
+            else (lambda old: time_low < old)
+        )
+
+        def update_low(old: int) -> tuple:
+            # One access: compare-and-store; outputs whether we wrapped.
+            return time_low, 1 if wrap_test(old) else 0
+
+        wrapped = self.reg_low.read_modify_write(port, update_low)
+        return time_low, wrapped
+
+    def step_high(self, wrapped: int, port: int = 0) -> int:
+        """Second pipeline stage: one access to ``ts_high`` (the epoch)."""
+
+        def update_high(old: int) -> tuple:
+            new = old + wrapped
+            return new, new
+
+        return self.reg_high.read_modify_write(port, update_high)
+
+    def current_time(self, egress_global_tstamp_ns: int, port: int = 0) -> int:
+        """Algorithm 2: derive the emulated 32-bit time for one packet.
+
+        Composes :meth:`step_low` and :meth:`step_high` (in the pipeline
+        model these run as two separate match-action tables, one per
+        register -- the paper's one-register-one-table rule).
+
+        Args:
+            egress_global_tstamp_ns: the 64-bit nanosecond pipeline
+                timestamp carried by the packet.
+            port: switch port index (selects the register cells).
+
+        Returns:
+            Emulated time in 1.024-us ticks (fits in 32 bits).
+        """
+        time_low, wrapped = self.step_low(egress_global_tstamp_ns, port)
+        register_high = self.step_high(wrapped, port)
+        return (register_high * EPOCH_TICKS + time_low) & _LOW_MASK
+
+    @staticmethod
+    def ticks_to_seconds(ticks: int) -> float:
+        """Convert emulated ticks to seconds."""
+        return ticks * TICK_SECONDS
+
+    @staticmethod
+    def seconds_to_ticks(seconds: float) -> int:
+        """Convert seconds to emulated ticks (rounded down)."""
+        if seconds < 0:
+            raise ValueError("time cannot be negative")
+        return int(seconds / TICK_SECONDS)

@@ -1,0 +1,43 @@
+"""Experiment harness: FCT metrics, runners, and per-figure entry points."""
+
+from .fct import (
+    LARGE_FLOW_MIN,
+    SHORT_FLOW_MAX,
+    FctCollector,
+    FctSummary,
+    FlowRecord,
+    NormalizedFct,
+)
+from .report import format_table
+from .runner import (
+    ExperimentResult,
+    Scale,
+    estimate_star_network_rtt,
+    run_leafspine_fct,
+    run_star_fct,
+)
+from .schemes import (
+    SCHEME_ORDER,
+    bytes_to_sojourn,
+    simulation_schemes,
+    testbed_schemes,
+)
+
+__all__ = [
+    "LARGE_FLOW_MIN",
+    "SHORT_FLOW_MAX",
+    "FctCollector",
+    "FctSummary",
+    "FlowRecord",
+    "NormalizedFct",
+    "format_table",
+    "ExperimentResult",
+    "Scale",
+    "estimate_star_network_rtt",
+    "run_leafspine_fct",
+    "run_star_fct",
+    "SCHEME_ORDER",
+    "bytes_to_sojourn",
+    "simulation_schemes",
+    "testbed_schemes",
+]

@@ -1,0 +1,138 @@
+"""Flow completion time collection and breakdown (Section 5.1 metrics).
+
+The paper reports, per scheme and load: overall average FCT, average and
+99th-percentile FCT of short flows (< 100 KB), and average FCT of large
+flows (> 10 MB).  :class:`FctCollector` accumulates completed flows and
+:class:`FctSummary` computes exactly that breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..tcp.factory import FlowHandle
+
+__all__ = ["FlowRecord", "FctCollector", "FctSummary", "SHORT_FLOW_MAX", "LARGE_FLOW_MIN"]
+
+SHORT_FLOW_MAX = 100 * 1024
+"""Short flows: size in (0, 100 KB] (paper's breakdown)."""
+
+LARGE_FLOW_MIN = 10 * 1024 * 1024
+"""Large flows: size in [10 MB, inf) (paper's breakdown)."""
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed flow."""
+
+    flow_id: int
+    size_bytes: int
+    fct: float
+    start_time: float
+    timeouts: int
+    retransmissions: int
+
+
+class FctCollector:
+    """Accumulates completed flows; pass :meth:`record` as the completion
+    callback of a traffic generator."""
+
+    def __init__(self) -> None:
+        self.records: List[FlowRecord] = []
+
+    def record(self, handle: FlowHandle) -> None:
+        self.records.append(
+            FlowRecord(
+                flow_id=handle.flow_id,
+                size_bytes=handle.size_bytes,
+                fct=handle.fct,
+                start_time=handle.start_time,
+                timeouts=handle.sender.stats.timeouts,
+                retransmissions=handle.sender.stats.retransmissions,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def summary(
+        self,
+        short_max: int = SHORT_FLOW_MAX,
+        large_min: int = LARGE_FLOW_MIN,
+    ) -> "FctSummary":
+        return FctSummary.from_records(self.records, short_max, large_min)
+
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.records)
+
+
+def _avg(values: Sequence[float]) -> Optional[float]:
+    return float(np.mean(values)) if len(values) else None
+
+
+def _p99(values: Sequence[float]) -> Optional[float]:
+    return float(np.percentile(values, 99)) if len(values) else None
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """The paper's FCT breakdown.  Fields are None when no flow qualifies
+    (small reduced-scale runs may have no > 10 MB flow)."""
+
+    n_flows: int
+    overall_avg: Optional[float]
+    overall_p99: Optional[float]
+    short_avg: Optional[float]
+    short_p99: Optional[float]
+    large_avg: Optional[float]
+    n_short: int
+    n_large: int
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[FlowRecord],
+        short_max: int = SHORT_FLOW_MAX,
+        large_min: int = LARGE_FLOW_MIN,
+    ) -> "FctSummary":
+        all_fct = [r.fct for r in records]
+        short_fct = [r.fct for r in records if r.size_bytes <= short_max]
+        large_fct = [r.fct for r in records if r.size_bytes >= large_min]
+        return cls(
+            n_flows=len(records),
+            overall_avg=_avg(all_fct),
+            overall_p99=_p99(all_fct),
+            short_avg=_avg(short_fct),
+            short_p99=_p99(short_fct),
+            large_avg=_avg(large_fct),
+            n_short=len(short_fct),
+            n_large=len(large_fct),
+        )
+
+    def normalized_to(self, baseline: "FctSummary") -> "NormalizedFct":
+        """Ratios against a baseline scheme (how the paper's figures plot)."""
+
+        def ratio(mine: Optional[float], theirs: Optional[float]) -> Optional[float]:
+            if mine is None or theirs is None or theirs == 0:
+                return None
+            return mine / theirs
+
+        return NormalizedFct(
+            overall_avg=ratio(self.overall_avg, baseline.overall_avg),
+            short_avg=ratio(self.short_avg, baseline.short_avg),
+            short_p99=ratio(self.short_p99, baseline.short_p99),
+            large_avg=ratio(self.large_avg, baseline.large_avg),
+        )
+
+
+@dataclass(frozen=True)
+class NormalizedFct:
+    """FCT ratios versus a baseline (1.0 = identical, < 1.0 = better)."""
+
+    overall_avg: Optional[float]
+    short_avg: Optional[float]
+    short_p99: Optional[float]
+    large_avg: Optional[float]

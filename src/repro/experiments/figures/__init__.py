@@ -1,0 +1,44 @@
+"""One module per paper table/figure; each exposes ``run_*`` and ``render``.
+
+Index (see DESIGN.md section 3 for the full mapping):
+
+* :mod:`table1`  -- Table 1 / Figure 1: RTT variation from processing components
+* :mod:`fig2`    -- Figure 2: instantaneous-threshold sweep dilemma
+* :mod:`fig3`    -- Figure 3: performance loss vs RTT-variation magnitude
+* :mod:`fig5`    -- Figure 5: workload flow-size CDFs
+* :mod:`fig6_fig7` -- Figures 6-7: testbed FCT vs load, both workloads
+* :mod:`fig8`    -- Figure 8: testbed FCT under 3x-5x variations
+* :mod:`fig9`    -- Figure 9: leaf-spine large-scale FCT vs load
+* :mod:`fig10`   -- Figure 10: microscopic queue occupancy
+* :mod:`fig11`   -- Figure 11: query FCT vs incast fanout
+* :mod:`fig12`   -- Figure 12: ECN# parameter sensitivity
+* :mod:`fig13`   -- Figure 13: ECN# under DWRR packet scheduling vs TCN
+"""
+
+from . import (
+    fig2,
+    fig3,
+    fig5,
+    fig6_fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+
+__all__ = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6_fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+]

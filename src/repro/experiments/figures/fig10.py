@@ -1,0 +1,214 @@
+"""Figure 10: microscopic queue occupancy (16-to-1, query burst).
+
+Long-lived background flows (data-mining-sized, small-ish base RTTs) build
+whatever standing queue the AQM tolerates; at the burst time 100 query flows
+arrive at once.  The paper's observations, which this module measures:
+
+* DCTCP-RED-Tail keeps a persistent queue near its threshold (~182 pkt at a
+  220 us threshold on 10 Gbps) and absorbs the burst without drops;
+* ECN# collapses the standing queue to ~pst_target (~8 pkt) and still
+  absorbs the burst;
+* CoDel has a small standing queue but overflows on the burst (drops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...netem.profiles import RttProfile
+from ...sim.monitor import QueueMonitor
+from ...sim.packet import PacketFactory
+from ...sim.units import gbps, mb, ms, us
+from ...topology.star import build_incast
+from ...workloads.arrivals import TransportConfig
+from ...workloads.incast import launch_query
+from ..fct import FctCollector
+from ..report import format_table
+from ..runner import estimate_star_network_rtt
+from ..schemes import simulation_schemes
+
+__all__ = ["Fig10Result", "MicroscopicRun", "run_microscopic", "run_fig10", "render"]
+
+DEFAULT_SCHEMES: Tuple[str, ...] = ("DCTCP-RED-Tail", "CoDel", "ECN#")
+
+
+@dataclass
+class MicroscopicRun:
+    """One scheme's microscopic trace.
+
+    ``standing_queue_pkts`` is the pre-burst long-window average;
+    ``floor_queue_pkts`` is the best (lowest-average) 5 ms window before the
+    burst -- the converged state the paper's single 5 ms snapshot captures.
+    ECN#'s persistent control converges along a sawtooth (Algorithm 1 resets
+    its escalation count whenever one packet dips below pst_target), so the
+    long-window average sits above the converged floor.
+    """
+
+    scheme: str
+    samples: Tuple[List[float], List[int]]  # (times, queue packets)
+    standing_queue_pkts: float  # average before the burst
+    floor_queue_pkts: float  # best 5ms-window average before the burst
+    peak_queue_pkts: int
+    drops: int
+    marks: int
+    query_fcts: List[float] = field(default_factory=list)
+    query_timeouts: int = 0
+    queries_completed: int = 0
+
+
+@dataclass
+class Fig10Result:
+    runs: Dict[str, MicroscopicRun]
+    fanout: int
+    burst_time: float
+
+
+def run_microscopic(
+    aqm_factory,
+    scheme_name: str,
+    fanout: int = 100,
+    seed: int = 51,
+    n_background: int = 4,
+    background_bytes: int = 80_000_000,
+    warmup: float = ms(5),
+    burst_time: float = ms(20),
+    end_time: float = ms(45),
+    sample_interval: float = us(5),
+    rtt_min: float = us(80),
+    variation: float = 3.0,
+    init_cwnd: float = 2.0,
+    jitter: float = us(300),
+) -> MicroscopicRun:
+    """One scheme's run: background long flows + one query burst."""
+    topo = build_incast(aqm_factory=aqm_factory, buffer_bytes=mb(1))
+    rng = np.random.default_rng(seed)
+    factory = PacketFactory()
+    profile = RttProfile.from_variation(rtt_min, variation)
+    network_rtt = estimate_star_network_rtt()
+    transport = TransportConfig(init_cwnd=init_cwnd)
+
+    # Long-lived background flows from the first senders, base RTTs drawn
+    # from the variation profile (the small-RTT ones create the standing
+    # queue under a tail-RTT threshold).
+    from ...tcp.factory import open_flow
+
+    for index in range(n_background):
+        sender = topo.senders[index]
+        handle = open_flow(
+            topo.network,
+            factory,
+            sender,
+            topo.receiver,
+            background_bytes,
+            cc=transport.cc,
+            init_cwnd=transport.init_cwnd,
+            min_rto=transport.min_rto,
+        )
+        base_rtt = profile.sample_one(rng)
+        topo.stage_for(sender).set_flow_delay(
+            handle.flow_id, max(0.0, base_rtt - network_rtt)
+        )
+
+    monitor = QueueMonitor(
+        topo.sim, topo.bottleneck, interval=sample_interval, start=warmup, stop=end_time
+    )
+
+    collector = FctCollector()
+    launch_query(
+        topo.network,
+        factory,
+        topo.senders,
+        topo.receiver,
+        fanout=fanout,
+        start_time=burst_time,
+        rng=rng,
+        transport=transport,
+        on_flow_complete=collector.record,
+        jitter=jitter,
+    )
+
+    topo.network.run(until=end_time)
+
+    pre_burst = [
+        (s.time, s.packets) for s in monitor.samples if s.time < burst_time
+    ]
+    standing = float(np.mean([p for _, p in pre_burst])) if pre_burst else 0.0
+    floor = _best_window_average(pre_burst, window=ms(5))
+    return MicroscopicRun(
+        scheme=scheme_name,
+        samples=monitor.series(),
+        standing_queue_pkts=standing,
+        floor_queue_pkts=floor,
+        peak_queue_pkts=monitor.max_packets(),
+        drops=topo.bottleneck.stats.dropped_total,
+        marks=topo.bottleneck.aqm.stats.marks,
+        query_fcts=[r.fct for r in collector.records],
+        query_timeouts=collector.total_timeouts(),
+        queries_completed=len(collector.records),
+    )
+
+
+def _best_window_average(
+    samples: List[Tuple[float, int]], window: float
+) -> float:
+    """Lowest mean queue over any ``window``-long span of the samples."""
+    if not samples:
+        return 0.0
+    best = float("inf")
+    start_index = 0
+    total = 0.0
+    count = 0
+    for index, (time, packets) in enumerate(samples):
+        total += packets
+        count += 1
+        while samples[start_index][0] < time - window:
+            total -= samples[start_index][1]
+            count -= 1
+            start_index += 1
+        if count > 0 and time - samples[start_index][0] >= window * 0.9:
+            best = min(best, total / count)
+    return best if best != float("inf") else float(np.mean([p for _, p in samples]))
+
+
+def run_fig10(
+    fanout: int = 100,
+    seed: int = 51,
+    schemes: Tuple[str, ...] = DEFAULT_SCHEMES,
+) -> Fig10Result:
+    """Run the microscopic trace for each scheme at one fanout."""
+    factories = simulation_schemes()
+    runs: Dict[str, MicroscopicRun] = {}
+    for name in schemes:
+        runs[name] = run_microscopic(
+            factories[name], scheme_name=name, fanout=fanout, seed=seed
+        )
+    return Fig10Result(runs=runs, fanout=fanout, burst_time=ms(20))
+
+
+def render(result: Fig10Result) -> str:
+    """Render the standing-queue / burst table."""
+    rows: List[List[str]] = []
+    for name, run in result.runs.items():
+        rows.append(
+            [
+                name,
+                f"{run.standing_queue_pkts:.1f}",
+                f"{run.floor_queue_pkts:.1f}",
+                str(run.peak_queue_pkts),
+                str(run.drops),
+                str(run.query_timeouts),
+                f"{run.queries_completed}/{result.fanout}",
+            ]
+        )
+    return format_table(
+        ["scheme", "standing q (pkt)", "floor q (5ms)", "peak q", "drops", "query timeouts", "queries done"],
+        rows,
+        title=(
+            "Figure 10: queue occupancy with a "
+            f"{result.fanout}-flow query burst (paper: RED-Tail ~182 pkt "
+            "standing, ECN# ~8 pkt, CoDel drops)"
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Figure 11: query FCT vs incast fanout (25-200 concurrent senders).
+
+Reuses the Figure 10 rig across a fanout sweep and reports average / 99th
+percentile query completion time per scheme.  The paper's shape: CoDel
+degrades sharply once ~100 concurrent senders overflow the buffer (packet
+loss -> min-RTO timeouts), while ECN# tracks DCTCP-RED-Tail and only starts
+suffering at ~175 senders -- a 1.75x burst-tolerance advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..report import fmt_opt, format_table
+from ..schemes import simulation_schemes
+from .fig10 import MicroscopicRun, run_microscopic
+
+__all__ = ["Fig11Result", "run_fig11", "render", "DEFAULT_FANOUTS"]
+
+DEFAULT_FANOUTS: Tuple[int, ...] = (25, 50, 100, 150, 175, 200)
+DEFAULT_SCHEMES: Tuple[str, ...] = ("DCTCP-RED-Tail", "CoDel", "ECN#")
+
+
+@dataclass
+class Fig11Result:
+    fanouts: Tuple[int, ...]
+    schemes: Tuple[str, ...]
+    runs: Dict[int, Dict[str, MicroscopicRun]]
+
+    def avg_query_fct(self, fanout: int, scheme: str) -> Optional[float]:
+        fcts = self.runs[fanout][scheme].query_fcts
+        return float(np.mean(fcts)) if fcts else None
+
+    def p99_query_fct(self, fanout: int, scheme: str) -> Optional[float]:
+        fcts = self.runs[fanout][scheme].query_fcts
+        return float(np.percentile(fcts, 99)) if fcts else None
+
+    def first_loss_fanout(self, scheme: str) -> Optional[int]:
+        """Smallest fanout at which the scheme drops packets."""
+        for fanout in self.fanouts:
+            if self.runs[fanout][scheme].drops > 0:
+                return fanout
+        return None
+
+
+def run_fig11(
+    fanouts: Tuple[int, ...] = DEFAULT_FANOUTS,
+    schemes: Tuple[str, ...] = DEFAULT_SCHEMES,
+    seed: int = 61,
+) -> Fig11Result:
+    """Run the fanout sweep for every scheme."""
+    factories = simulation_schemes()
+    runs: Dict[int, Dict[str, MicroscopicRun]] = {}
+    for fanout in fanouts:
+        runs[fanout] = {}
+        for name in schemes:
+            runs[fanout][name] = run_microscopic(
+                factories[name], scheme_name=name, fanout=fanout, seed=seed
+            )
+    return Fig11Result(fanouts=fanouts, schemes=schemes, runs=runs)
+
+
+def render(result: Fig11Result) -> str:
+    """Render the query-FCT-vs-fanout table plus loss onsets."""
+    rows: List[List[str]] = []
+    for fanout in result.fanouts:
+        for scheme in result.schemes:
+            run = result.runs[fanout][scheme]
+            avg = result.avg_query_fct(fanout, scheme)
+            p99 = result.p99_query_fct(fanout, scheme)
+            rows.append(
+                [
+                    str(fanout),
+                    scheme,
+                    fmt_opt(avg * 1e3 if avg is not None else None, ".2f"),
+                    fmt_opt(p99 * 1e3 if p99 is not None else None, ".2f"),
+                    str(run.query_timeouts),
+                    str(run.drops),
+                ]
+            )
+    table = format_table(
+        ["fanout", "scheme", "avg FCT (ms)", "p99 FCT (ms)", "timeouts", "drops"],
+        rows,
+        title="Figure 11: query completion time vs fanout",
+    )
+    onset = {
+        scheme: result.first_loss_fanout(scheme) for scheme in result.schemes
+    }
+    onset_line = ", ".join(
+        f"{scheme}: first loss at fanout {fanout if fanout is not None else '>max'}"
+        for scheme, fanout in onset.items()
+    )
+    return f"{table}\n{onset_line}"

@@ -1,0 +1,140 @@
+"""Figure 12: ECN# parameter sensitivity.
+
+Panel (a): pst_interval swept 100-250 us (rule of thumb: ~the tail RTT).
+Panel (b): pst_target swept 6-18 us (rule of thumb: >= lambda x average RTT,
+conservatively small).  The paper's claim: overall average FCT moves by
+< ~1% across the whole grid, i.e. ECN# does not need careful tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...core.ecn_sharp import EcnSharp, EcnSharpConfig
+from ...sim.units import us
+from ...workloads.datamining import DATA_MINING
+from ...workloads.distributions import EmpiricalCdf
+from ...workloads.websearch import WEB_SEARCH
+from ..fct import FctSummary
+from ..report import fmt_ratio, format_table
+from ..runner import run_star_fct_pooled
+
+__all__ = ["Fig12Result", "run_fig12", "render"]
+
+DEFAULT_INTERVALS_US: Tuple[float, ...] = (100.0, 150.0, 200.0, 250.0)
+DEFAULT_TARGETS_US: Tuple[float, ...] = (6.0, 10.0, 14.0, 18.0)
+
+
+@dataclass
+class Fig12Result:
+    """Overall-average FCT per parameter setting, per workload panel."""
+
+    intervals_us: Tuple[float, ...]
+    targets_us: Tuple[float, ...]
+    interval_fct: Dict[str, Dict[float, Optional[float]]]
+    target_fct: Dict[str, Dict[float, Optional[float]]]
+
+    def interval_spread(self, workload: str) -> Optional[float]:
+        """(max - min) / min of overall FCT across the interval sweep."""
+        values = [v for v in self.interval_fct[workload].values() if v]
+        if not values:
+            return None
+        return (max(values) - min(values)) / min(values)
+
+    def target_spread(self, workload: str) -> Optional[float]:
+        values = [v for v in self.target_fct[workload].values() if v]
+        if not values:
+            return None
+        return (max(values) - min(values)) / min(values)
+
+
+def _sweep(
+    workload: EmpiricalCdf,
+    configs: List[Tuple[float, EcnSharpConfig]],
+    load: float,
+    n_flows: int,
+    seed: int,
+    rtt_min: float,
+    n_seeds: int = 2,
+) -> Dict[float, Optional[float]]:
+    out: Dict[float, Optional[float]] = {}
+    for key, config in configs:
+        result = run_star_fct_pooled(
+            aqm_factory=lambda c=config: EcnSharp(c),
+            workload=workload,
+            load=load,
+            n_flows=n_flows,
+            seed=seed,
+            n_seeds=n_seeds,
+            variation=3.0,
+            rtt_min=rtt_min,
+        )
+        out[key] = result.summary.overall_avg
+    return out
+
+
+def run_fig12(
+    load: float = 0.5,
+    n_flows_web: int = 120,
+    n_flows_mining: int = 50,
+    seed: int = 71,
+    intervals_us: Tuple[float, ...] = DEFAULT_INTERVALS_US,
+    targets_us: Tuple[float, ...] = DEFAULT_TARGETS_US,
+) -> Fig12Result:
+    """Sweep pst_interval and pst_target on both workloads."""
+    workloads = {"web-search": (WEB_SEARCH, n_flows_web), "data-mining": (DATA_MINING, n_flows_mining)}
+
+    interval_fct: Dict[str, Dict[float, Optional[float]]] = {}
+    target_fct: Dict[str, Dict[float, Optional[float]]] = {}
+    for name, (workload, n_flows) in workloads.items():
+        # Panel (a): testbed-style parameters (70-210 us band), interval sweep.
+        interval_configs = [
+            (value, EcnSharpConfig(us(200), us(85), us(value)))
+            for value in intervals_us
+        ]
+        interval_fct[name] = _sweep(
+            workload, interval_configs, load, n_flows, seed, rtt_min=us(70)
+        )
+        # Panel (b): simulation-style parameters (80-240 us band), target sweep.
+        target_configs = [
+            (value, EcnSharpConfig(us(220), us(value), us(240)))
+            for value in targets_us
+        ]
+        target_fct[name] = _sweep(
+            workload, target_configs, load, n_flows, seed, rtt_min=us(80)
+        )
+    return Fig12Result(
+        intervals_us=intervals_us,
+        targets_us=targets_us,
+        interval_fct=interval_fct,
+        target_fct=target_fct,
+    )
+
+
+def render(result: Fig12Result) -> str:
+    """Render both sensitivity panels plus the spread summary."""
+    rows: List[List[str]] = []
+    for workload in result.interval_fct:
+        base = result.interval_fct[workload][result.intervals_us[-1]]
+        for value in result.intervals_us:
+            fct = result.interval_fct[workload][value]
+            ratio = (fct / base) if (fct and base) else None
+            rows.append([workload, f"pst_interval={value:.0f}us", fmt_ratio(ratio)])
+    for workload in result.target_fct:
+        base = result.target_fct[workload][result.targets_us[1]]
+        for value in result.targets_us:
+            fct = result.target_fct[workload][value]
+            ratio = (fct / base) if (fct and base) else None
+            rows.append([workload, f"pst_target={value:.0f}us", fmt_ratio(ratio)])
+    table = format_table(
+        ["workload", "setting", "overall FCT (normalized)"],
+        rows,
+        title="Figure 12: parameter sensitivity (all ratios should stay ~1.00)",
+    )
+    spreads = ", ".join(
+        f"{workload} interval spread={result.interval_spread(workload):.1%} "
+        f"target spread={result.target_spread(workload):.1%}"
+        for workload in result.interval_fct
+    )
+    return f"{table}\n{spreads}"

@@ -1,0 +1,114 @@
+"""Figure 2: no single instantaneous threshold wins on both axes.
+
+Sweeps the DCTCP-RED cut-off threshold from 50 KB to 250 KB under the web
+search workload at 50% load with 3x RTT variation (70-210 us).  The paper's
+observation: low thresholds (average-RTT territory) hurt large-flow FCT
+(throughput), high thresholds (90th-percentile territory) hurt short-flow
+tail FCT (queueing delay); nothing in between achieves both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...core.red import SojournRed
+from ...sim.units import gbps, kb, us
+from ...workloads.websearch import WEB_SEARCH
+from ..fct import FctSummary
+from ..report import fmt_ratio, fmt_us, format_table
+from ..runner import run_star_fct_pooled
+from ..schemes import bytes_to_sojourn
+
+__all__ = ["Fig2Result", "run_fig2", "render", "DEFAULT_THRESHOLDS_KB"]
+
+DEFAULT_THRESHOLDS_KB: Tuple[int, ...] = (50, 100, 150, 200, 250)
+
+
+@dataclass
+class Fig2Result:
+    """FCT summaries per threshold, plus normalization to the first one."""
+
+    thresholds_kb: Tuple[int, ...]
+    summaries: Dict[int, FctSummary]
+    load: float
+    variation: float
+
+    def normalized(self, field: str) -> Dict[int, Optional[float]]:
+        """Per-threshold ratio of ``field`` to the smallest threshold's."""
+        base = getattr(self.summaries[self.thresholds_kb[0]], field)
+        out: Dict[int, Optional[float]] = {}
+        for threshold in self.thresholds_kb:
+            value = getattr(self.summaries[threshold], field)
+            out[threshold] = (value / base) if (value and base) else None
+        return out
+
+
+def run_fig2(
+    seed: int = 7,
+    n_flows: int = 150,
+    load: float = 0.5,
+    thresholds_kb: Tuple[int, ...] = DEFAULT_THRESHOLDS_KB,
+    variation: float = 3.0,
+    rtt_min: float = us(70),
+    n_seeds: int = 2,
+) -> Fig2Result:
+    """Run the threshold sweep (identical arrivals across thresholds,
+    pooled over ``n_seeds`` seeds as the paper averages runs)."""
+    summaries: Dict[int, FctSummary] = {}
+    for threshold in thresholds_kb:
+        sojourn = bytes_to_sojourn(kb(threshold), gbps(10))
+        result = run_star_fct_pooled(
+            aqm_factory=lambda s=sojourn: SojournRed(s),
+            workload=WEB_SEARCH,
+            load=load,
+            n_flows=n_flows,
+            seed=seed,
+            n_seeds=n_seeds,
+            variation=variation,
+            rtt_min=rtt_min,
+        )
+        summaries[threshold] = result.summary
+    return Fig2Result(
+        thresholds_kb=thresholds_kb,
+        summaries=summaries,
+        load=load,
+        variation=variation,
+    )
+
+
+def render(result: Fig2Result) -> str:
+    """Render the threshold-sweep table (normalized to the 50 KB point)."""
+    norm_large = result.normalized("large_avg")
+    norm_short99 = result.normalized("short_p99")
+    norm_overall = result.normalized("overall_avg")
+    rows: List[List[str]] = []
+    for threshold in result.thresholds_kb:
+        summary = result.summaries[threshold]
+        rows.append(
+            [
+                f"{threshold}KB",
+                fmt_us(summary.overall_avg),
+                fmt_us(summary.short_p99),
+                fmt_us(summary.large_avg),
+                fmt_ratio(norm_overall[threshold]),
+                fmt_ratio(norm_short99[threshold]),
+                fmt_ratio(norm_large[threshold]),
+            ]
+        )
+    return format_table(
+        [
+            "threshold",
+            "overall avg",
+            "short p99",
+            "large avg",
+            "n.overall",
+            "n.short99",
+            "n.large",
+        ],
+        rows,
+        title=(
+            f"Figure 2: threshold sweep (web search, load={result.load:.0%}, "
+            f"{result.variation:.0f}x RTT variation; normalized to 50KB)"
+        ),
+    )

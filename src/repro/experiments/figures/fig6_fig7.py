@@ -1,0 +1,143 @@
+"""Figures 6-7: testbed FCT vs load under both production workloads.
+
+For each load point, runs the four Section 5.2 schemes (DCTCP-RED-Tail,
+DCTCP-RED-AVG, CoDel, ECN#) over the 7-to-1 testbed star with 3x RTT
+variation, and normalizes every FCT statistic to DCTCP-RED-Tail -- exactly
+how the paper plots panels (a)-(d).
+
+Shape targets: ECN# beats RED-Tail on short-flow avg/99p (up to ~23%/37%),
+matches it on large-flow avg; RED-AVG wins short flows but loses large
+flows; CoDel loses badly on short flows (timeouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...sim.units import us
+from ...workloads.datamining import DATA_MINING
+from ...workloads.distributions import EmpiricalCdf
+from ...workloads.websearch import WEB_SEARCH
+from ..fct import FctSummary, NormalizedFct
+from ..report import fmt_ratio, format_table
+from ..runner import run_star_fct_pooled
+from ..schemes import SCHEME_ORDER, testbed_schemes
+
+__all__ = ["FctVsLoadResult", "run_fct_vs_load", "run_fig6", "run_fig7", "render"]
+
+BASELINE = "DCTCP-RED-Tail"
+
+
+@dataclass
+class FctVsLoadResult:
+    """summaries[load][scheme] plus the workload identity."""
+
+    workload_name: str
+    loads: Tuple[float, ...]
+    schemes: Tuple[str, ...]
+    summaries: Dict[float, Dict[str, FctSummary]]
+
+    def normalized(self, load: float, scheme: str) -> NormalizedFct:
+        return self.summaries[load][scheme].normalized_to(
+            self.summaries[load][BASELINE]
+        )
+
+    def best_short_avg_gain(self, scheme: str = "ECN#") -> Optional[float]:
+        """Largest relative short-flow average FCT reduction vs baseline
+        across loads (paper: up to 23.4% web search / 31.2% data mining)."""
+        gains = []
+        for load in self.loads:
+            ratio = self.normalized(load, scheme).short_avg
+            if ratio is not None:
+                gains.append(1.0 - ratio)
+        return max(gains) if gains else None
+
+
+def run_fct_vs_load(
+    workload: EmpiricalCdf,
+    loads: Tuple[float, ...],
+    n_flows: int,
+    seed: int,
+    schemes: Optional[Dict[str, object]] = None,
+    variation: float = 3.0,
+    rtt_min: float = us(70),
+    n_seeds: int = 2,
+) -> FctVsLoadResult:
+    """Run every scheme at every load over the testbed star (pooled seeds)."""
+    factories = schemes if schemes is not None else testbed_schemes()
+    summaries: Dict[float, Dict[str, FctSummary]] = {}
+    for load in loads:
+        per_scheme: Dict[str, FctSummary] = {}
+        for name, factory in factories.items():
+            result = run_star_fct_pooled(
+                aqm_factory=factory,  # type: ignore[arg-type]
+                workload=workload,
+                load=load,
+                n_flows=n_flows,
+                seed=seed,
+                n_seeds=n_seeds,
+                variation=variation,
+                rtt_min=rtt_min,
+            )
+            per_scheme[name] = result.summary
+        summaries[load] = per_scheme
+    return FctVsLoadResult(
+        workload_name=workload.name,
+        loads=loads,
+        schemes=tuple(factories.keys()),
+        summaries=summaries,
+    )
+
+
+def run_fig6(
+    loads: Tuple[float, ...] = (0.3, 0.5, 0.8),
+    n_flows: int = 150,
+    seed: int = 21,
+    n_seeds: int = 2,
+) -> FctVsLoadResult:
+    """Figure 6: web search workload."""
+    return run_fct_vs_load(WEB_SEARCH, loads, n_flows, seed, n_seeds=n_seeds)
+
+
+def run_fig7(
+    loads: Tuple[float, ...] = (0.3, 0.5, 0.8),
+    n_flows: int = 60,
+    seed: int = 22,
+    n_seeds: int = 2,
+) -> FctVsLoadResult:
+    """Figure 7: data mining workload."""
+    return run_fct_vs_load(DATA_MINING, loads, n_flows, seed, n_seeds=n_seeds)
+
+
+def render(result: FctVsLoadResult, figure_name: str = "Figure 6/7") -> str:
+    """Render the normalized FCT-vs-load table plus the headline gain."""
+    rows: List[List[str]] = []
+    for load in result.loads:
+        for scheme in result.schemes:
+            norm = result.normalized(load, scheme)
+            rows.append(
+                [
+                    f"{load:.0%}",
+                    scheme,
+                    fmt_ratio(norm.overall_avg),
+                    fmt_ratio(norm.short_avg),
+                    fmt_ratio(norm.short_p99),
+                    fmt_ratio(norm.large_avg),
+                ]
+            )
+    table = format_table(
+        ["load", "scheme", "overall avg", "short avg", "short p99", "large avg"],
+        rows,
+        title=(
+            f"{figure_name}: normalized FCT vs load "
+            f"({result.workload_name}; 1.00 = DCTCP-RED-Tail)"
+        ),
+    )
+    gain = result.best_short_avg_gain()
+    suffix = (
+        f"\nECN# best short-flow avg gain vs RED-Tail: {gain:.1%}"
+        if gain is not None
+        else ""
+    )
+    return table + suffix

@@ -1,0 +1,59 @@
+"""Plain-text tables and series, in the shape the paper reports them.
+
+The benchmark harness prints one table per paper table/figure; these helpers
+keep the formatting consistent (fixed-width columns, microsecond units,
+normalized ratios with the baseline pinned at 1.00).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "fmt_us", "fmt_ratio", "fmt_opt"]
+
+
+def fmt_us(seconds: Optional[float]) -> str:
+    """Seconds -> microseconds string (the paper's FCT unit)."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e6:,.0f}"
+
+
+def fmt_ratio(value: Optional[float]) -> str:
+    """Normalized-FCT ratio (1.00 = baseline)."""
+    if value is None:
+        return "-"
+    return f"{value:.2f}"
+
+
+def fmt_opt(value: Optional[float], spec: str = ".2f") -> str:
+    """Generic optional-float formatting."""
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

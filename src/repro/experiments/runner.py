@@ -1,0 +1,330 @@
+"""Experiment runners: single FCT runs over the paper's topologies.
+
+Scale handling: the paper's experiments run seconds of 10 Gbps traffic; a
+pure-Python DES cannot.  :class:`Scale` centralises the reduction -- flow
+counts and load grids shrink by default, and ``REPRO_FULL=1`` in the
+environment switches to larger runs.  Normalized FCT comparisons (all the
+paper's figures) are preserved under this reduction because every scheme
+sees the identical arrival process (same seed -> same flow sizes, arrival
+times, endpoints and base RTTs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import Aqm
+from ..netem.profiles import RttProfile
+from ..sim.packet import PacketFactory
+from ..sim.units import HEADER_SIZE, MTU, gbps, mb, us
+from ..topology.leafspine import build_leafspine
+from ..topology.star import build_star
+from ..workloads.arrivals import (
+    PoissonTrafficGenerator,
+    TransportConfig,
+    any_to_any_pair_picker,
+    star_pair_picker,
+)
+from ..workloads.distributions import EmpiricalCdf
+from .fct import FctCollector, FctSummary
+
+__all__ = [
+    "Scale",
+    "ExperimentResult",
+    "estimate_star_network_rtt",
+    "run_star_fct",
+    "run_star_fct_pooled",
+    "run_leafspine_fct",
+    "run_leafspine_fct_pooled",
+    "pool_results",
+]
+
+AqmFactory = Callable[[], Aqm]
+
+MAX_EVENTS_PER_RUN = 200_000_000
+"""Hard stop against runaway runs; far above any configured experiment."""
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-size knobs shared by the benchmark harness.
+
+    ``reduced()`` (the default) targets minutes of wall clock for the whole
+    bench suite; ``full()`` approaches the paper's flow counts and load
+    grids (hours of wall clock in pure Python).
+    """
+
+    n_flows_web_search: int
+    n_flows_data_mining: int
+    n_flows_leafspine: int
+    n_seeds: int
+    loads: Tuple[float, ...]
+    leafspine_loads: Tuple[float, ...]
+    fanouts: Tuple[int, ...]
+    leafspine_dims: Tuple[int, int, int]  # spines, leaves, hosts/leaf
+    full: bool
+
+    @classmethod
+    def reduced(cls) -> "Scale":
+        return cls(
+            n_flows_web_search=150,
+            n_flows_data_mining=60,
+            n_flows_leafspine=150,
+            n_seeds=2,
+            loads=(0.3, 0.5, 0.8),
+            leafspine_loads=(0.3, 0.5),
+            fanouts=(25, 50, 100, 150, 175, 200),
+            leafspine_dims=(4, 4, 4),
+            full=False,
+        )
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            n_flows_web_search=2000,
+            n_flows_data_mining=500,
+            n_flows_leafspine=2000,
+            n_seeds=3,
+            loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+            leafspine_loads=(0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+            fanouts=(25, 50, 75, 100, 125, 150, 175, 200),
+            leafspine_dims=(8, 8, 16),
+            full=True,
+        )
+
+    @classmethod
+    def from_env(cls) -> "Scale":
+        """``REPRO_FULL=1`` selects paper-scale runs."""
+        if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+            return cls.paper()
+        return cls.reduced()
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one FCT run produces."""
+
+    summary: FctSummary
+    collector: FctCollector
+    marks: int
+    instant_marks: int
+    persistent_marks: int
+    drops: int
+    timeouts: int
+    sim_duration: float
+    events: int
+
+    @property
+    def n_flows(self) -> int:
+        return self.summary.n_flows
+
+
+def estimate_star_network_rtt(
+    link_rate_bps: float = gbps(10), link_delay: float = us(2)
+) -> float:
+    """Uncongested physical RTT of the star: four propagation hops plus
+    data and ACK serialization on both links."""
+    data_tx = MTU * 8.0 / link_rate_bps
+    ack_tx = HEADER_SIZE * 8.0 / link_rate_bps
+    return 4.0 * link_delay + 2.0 * data_tx + 2.0 * ack_tx
+
+
+def _drain(network, collector: FctCollector, expected: int) -> None:
+    """Run the event loop to completion and verify every flow finished."""
+    network.sim.run_until_idle(max_events=MAX_EVENTS_PER_RUN)
+    if len(collector) < expected:
+        raise RuntimeError(
+            f"only {len(collector)}/{expected} flows completed; "
+            "simulation stalled (check buffer/timeout settings)"
+        )
+
+
+def _result(topology_ports, network, collector: FctCollector) -> ExperimentResult:
+    marks = instant = persistent = drops = 0
+    for port in topology_ports:
+        stats = port.aqm.stats
+        marks += stats.marks
+        instant += stats.instant_marks
+        persistent += stats.persistent_marks
+        drops += port.stats.dropped_total
+    return ExperimentResult(
+        summary=collector.summary(),
+        collector=collector,
+        marks=marks,
+        instant_marks=instant,
+        persistent_marks=persistent,
+        drops=drops,
+        timeouts=collector.total_timeouts(),
+        sim_duration=network.sim.now,
+        events=network.sim.events_processed,
+    )
+
+
+def run_star_fct(
+    aqm_factory: AqmFactory,
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    n_senders: int = 7,
+    variation: float = 3.0,
+    rtt_min: float = us(70),
+    link_rate_bps: float = gbps(10),
+    link_delay: float = us(2),
+    buffer_bytes: int = mb(2),
+    transport: TransportConfig = TransportConfig(),
+    rtt_shape: str = "testbed",
+) -> ExperimentResult:
+    """One testbed-style run: Poisson flows from N senders to one receiver
+    through a single switch running the AQM under test.
+
+    The identical ``seed`` produces the identical arrival process across
+    schemes, so normalized FCT comparisons are paired (lower variance than
+    independent sampling -- the paper averages three runs instead).
+    """
+    topo = build_star(
+        n_senders=n_senders,
+        link_rate_bps=link_rate_bps,
+        link_delay=link_delay,
+        buffer_bytes=buffer_bytes,
+        aqm_factory=aqm_factory,
+    )
+    rng = np.random.default_rng(seed)
+    factory = PacketFactory()
+    collector = FctCollector()
+    profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
+    generator = PoissonTrafficGenerator(
+        network=topo.network,
+        factory=factory,
+        pair_picker=star_pair_picker(topo.senders, topo.receiver),
+        workload=workload,
+        load=load,
+        capacity_bps=link_rate_bps,
+        n_flows=n_flows,
+        rng=rng,
+        rtt_profile=profile,
+        network_rtt=estimate_star_network_rtt(link_rate_bps, link_delay),
+        delay_stage_of=topo.stage_for,
+        transport=transport,
+        on_flow_complete=collector.record,
+    )
+    generator.start()
+    _drain(topo.network, collector, n_flows)
+    switch_ports = list(topo.switch.ports)
+    return _result(switch_ports, topo.network, collector)
+
+
+def pool_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Merge independent runs of the same configuration (different seeds)
+    into one result, pooling flow records -- the reproduction's equivalent
+    of the paper's average-of-three-runs methodology."""
+    if not results:
+        raise ValueError("need at least one result to pool")
+    merged = FctCollector()
+    for result in results:
+        merged.records.extend(result.collector.records)
+    return ExperimentResult(
+        summary=merged.summary(),
+        collector=merged,
+        marks=sum(r.marks for r in results),
+        instant_marks=sum(r.instant_marks for r in results),
+        persistent_marks=sum(r.persistent_marks for r in results),
+        drops=sum(r.drops for r in results),
+        timeouts=sum(r.timeouts for r in results),
+        sim_duration=max(r.sim_duration for r in results),
+        events=sum(r.events for r in results),
+    )
+
+
+def run_star_fct_pooled(
+    aqm_factory: AqmFactory,
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    n_seeds: int = 2,
+    **kwargs,
+) -> ExperimentResult:
+    """``run_star_fct`` pooled over ``n_seeds`` independent seeds."""
+    if n_seeds <= 0:
+        raise ValueError("n_seeds must be positive")
+    results = [
+        run_star_fct(aqm_factory, workload, load, n_flows, seed + offset, **kwargs)
+        for offset in range(n_seeds)
+    ]
+    return pool_results(results)
+
+
+def run_leafspine_fct_pooled(
+    aqm_factory: AqmFactory,
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    n_seeds: int = 2,
+    **kwargs,
+) -> ExperimentResult:
+    """``run_leafspine_fct`` pooled over ``n_seeds`` independent seeds."""
+    if n_seeds <= 0:
+        raise ValueError("n_seeds must be positive")
+    results = [
+        run_leafspine_fct(aqm_factory, workload, load, n_flows, seed + offset, **kwargs)
+        for offset in range(n_seeds)
+    ]
+    return pool_results(results)
+
+
+def run_leafspine_fct(
+    aqm_factory: AqmFactory,
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    dims: Tuple[int, int, int] = (4, 4, 4),
+    variation: float = 3.0,
+    rtt_min: float = us(80),
+    link_rate_bps: float = gbps(10),
+    buffer_bytes: int = mb(1),
+    transport: TransportConfig = TransportConfig(),
+    rtt_shape: str = "fabric",
+) -> ExperimentResult:
+    """One large-scale run: any-to-any Poisson traffic over a leaf-spine
+    fabric with ECMP (Section 5.3's setup, possibly reduced dims)."""
+    spines, leaves, hosts_per_leaf = dims
+    topo = build_leafspine(
+        n_spines=spines,
+        n_leaves=leaves,
+        hosts_per_leaf=hosts_per_leaf,
+        link_rate_bps=link_rate_bps,
+        buffer_bytes=buffer_bytes,
+        aqm_factory=aqm_factory,
+    )
+    rng = np.random.default_rng(seed)
+    factory = PacketFactory()
+    collector = FctCollector()
+    profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
+    generator = PoissonTrafficGenerator(
+        network=topo.network,
+        factory=factory,
+        pair_picker=any_to_any_pair_picker(topo.hosts),
+        workload=workload,
+        load=load,
+        capacity_bps=link_rate_bps * len(topo.hosts),
+        n_flows=n_flows,
+        rng=rng,
+        rtt_profile=profile,
+        network_rtt=estimate_star_network_rtt(link_rate_bps, us(2)) * 2.0,
+        delay_stage_of=topo.stage_for,
+        transport=transport,
+        on_flow_complete=collector.record,
+    )
+    generator.start()
+    _drain(topo.network, collector, n_flows)
+    fabric_ports = [
+        port for switch in (topo.spines + topo.leaves) for port in switch.ports
+    ]
+    return _result(fabric_ports, topo.network, collector)

@@ -1,0 +1,75 @@
+"""The comparison schemes of Section 5, with the paper's parameter choices.
+
+Testbed configuration (Section 5.2, 3x RTT variation 70-210 us, 10 Gbps):
+
+* DCTCP-RED-Tail: threshold 250 KB (90th-percentile RTT) -> 204.8 us sojourn
+* DCTCP-RED-AVG: threshold 80 KB (average RTT) -> 65.5 us sojourn
+* CoDel: interval 200 us, target 85 us
+* ECN#: ins_target 200 us, pst_interval 200 us, pst_target 85 us
+
+Microscopic / large-scale simulation configuration (Sections 5.3-5.4, 3x
+variation 80-240 us): CoDel interval 240 us / target 10 us; ECN# ins_target
+~220 us (the 90th-percentile RTT), pst_interval 240 us, pst_target 10 us;
+TCN 150 us (Figure 13).
+
+All schemes are expressed on the sojourn-time signal (the paper's
+implementation choice); byte thresholds convert through Equation 2 at the
+10 Gbps link rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core import Codel, EcnSharp, EcnSharpConfig, SojournRed, Tcn
+from ..core.base import Aqm
+from ..sim.units import gbps, kb, us
+
+__all__ = [
+    "AqmFactory",
+    "bytes_to_sojourn",
+    "testbed_schemes",
+    "simulation_schemes",
+    "SCHEME_ORDER",
+]
+
+AqmFactory = Callable[[], Aqm]
+
+SCHEME_ORDER: List[str] = ["DCTCP-RED-Tail", "DCTCP-RED-AVG", "CoDel", "ECN#"]
+"""Presentation order used by the figures."""
+
+
+def bytes_to_sojourn(threshold_bytes: int, rate_bps: float = gbps(10)) -> float:
+    """Equation 2: convert a queue-length threshold to sojourn time."""
+    if threshold_bytes <= 0 or rate_bps <= 0:
+        raise ValueError("threshold and rate must be positive")
+    return threshold_bytes * 8.0 / rate_bps
+
+
+def testbed_schemes(rate_bps: float = gbps(10)) -> Dict[str, AqmFactory]:
+    """The four Section 5.2 schemes with the paper's testbed parameters."""
+    tail_sojourn = bytes_to_sojourn(kb(250), rate_bps)  # ~204.8 us at 10G
+    avg_sojourn = bytes_to_sojourn(kb(80), rate_bps)  # ~65.5 us at 10G
+    return {
+        "DCTCP-RED-Tail": lambda: SojournRed(tail_sojourn),
+        "DCTCP-RED-AVG": lambda: SojournRed(avg_sojourn),
+        "CoDel": lambda: Codel(target_seconds=us(85), interval_seconds=us(200)),
+        "ECN#": lambda: EcnSharp(
+            EcnSharpConfig(
+                ins_target=us(200), pst_target=us(85), pst_interval=us(200)
+            )
+        ),
+    }
+
+
+def simulation_schemes() -> Dict[str, AqmFactory]:
+    """The Section 5.3/5.4 schemes (80-240 us RTT band, 10 Gbps)."""
+    return {
+        "DCTCP-RED-Tail": lambda: SojournRed(us(220)),  # 90th-percentile RTT
+        "DCTCP-RED-AVG": lambda: SojournRed(us(137)),  # average RTT
+        "CoDel": lambda: Codel(target_seconds=us(10), interval_seconds=us(240)),
+        "ECN#": lambda: EcnSharp(
+            EcnSharpConfig(ins_target=us(220), pst_target=us(10), pst_interval=us(240))
+        ),
+        "TCN": lambda: Tcn(us(150)),  # Figure 13's threshold
+    }

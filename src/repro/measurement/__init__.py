@@ -1,0 +1,6 @@
+"""RTT measurement: in-simulator probing and Table 1 statistics."""
+
+from .prober import RttProber
+from .stats import RttSummary, summarize_rtts
+
+__all__ = ["RttProber", "RttSummary", "summarize_rtts"]

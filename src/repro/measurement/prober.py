@@ -1,0 +1,118 @@
+"""In-simulator RTT probing: the PingMesh / TCP-Probe stand-in.
+
+Operators derive ECN thresholds from measured RTT distributions (Section
+2.3: "operators get RTT distributions using tools such as PingMesh").  The
+:class:`RttProber` measures base RTTs the same way the paper's Section 2.2
+testbed does: sequential 1-byte request flows ("a new request is sent when
+we receive the previous response"), each probe's sender-side completion time
+being one base-RTT sample (the path is uncongested during probing).
+
+Probes can traverse a :class:`~repro.netem.profiles.RttProfile` (per-probe
+netem delay), in which case the measured distribution is the one thresholds
+should be derived from -- closing the measure-then-configure loop entirely
+inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..netem.profiles import RttProfile
+from ..sim.network import Host, Network
+from ..sim.packet import PacketFactory
+from ..tcp.factory import FlowHandle, open_flow
+
+__all__ = ["RttProber"]
+
+
+class RttProber:
+    """Sequential 1-byte request/response RTT measurement.
+
+    Args:
+        network: the wired network.
+        factory: flow-id allocator.
+        senders: hosts to probe from (round-robin).
+        receiver: the probe target.
+        n_probes: number of samples to collect.
+        rng: randomness source (RTT profile sampling).
+        rtt_profile: optional emulated base-RTT distribution; each probe
+            samples one base RTT and installs the netem delta.
+        network_rtt: physical RTT subtracted when computing the delta.
+        delay_stage_of: maps sender host -> its delay stage (required with
+            a profile).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        factory: PacketFactory,
+        senders: List[Host],
+        receiver: Host,
+        n_probes: int,
+        rng: np.random.Generator,
+        rtt_profile: Optional[RttProfile] = None,
+        network_rtt: float = 0.0,
+        delay_stage_of: Optional[Callable[[Host], object]] = None,
+    ) -> None:
+        if n_probes <= 0:
+            raise ValueError("n_probes must be positive")
+        if not senders:
+            raise ValueError("need at least one probe sender")
+        if rtt_profile is not None and delay_stage_of is None:
+            raise ValueError("rtt_profile requires delay_stage_of")
+        self.network = network
+        self.factory = factory
+        self.senders = senders
+        self.receiver = receiver
+        self.n_probes = n_probes
+        self.rng = rng
+        self.rtt_profile = rtt_profile
+        self.network_rtt = network_rtt
+        self.delay_stage_of = delay_stage_of
+        self.samples: List[float] = []
+        self._next_index = 0
+
+    @property
+    def done(self) -> bool:
+        return len(self.samples) >= self.n_probes
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the first probe; the rest chain off completions."""
+        self.network.sim.schedule_at(at, self._launch_probe)
+
+    def _launch_probe(self) -> None:
+        if self.done:
+            return
+        sender = self.senders[self._next_index % len(self.senders)]
+        self._next_index += 1
+
+        stage = None
+        if self.rtt_profile is not None:
+            assert self.delay_stage_of is not None
+            stage = self.delay_stage_of(sender)
+
+        handle = open_flow(
+            self.network,
+            self.factory,
+            sender,
+            self.receiver,
+            size_bytes=1,
+            cc="reno",
+        )
+
+        def sender_complete(tcp_sender) -> None:
+            # Sender-side FCT of a 1-byte flow = one round trip (the
+            # response, here the final ACK, has come back).
+            self.samples.append(tcp_sender.completion_time - tcp_sender.start_time)
+            if stage is not None:
+                stage.clear_flow(handle.flow_id)
+            if not self.done:
+                self._launch_probe()
+
+        handle.sender.on_complete = sender_complete
+        if stage is not None:
+            assert self.rtt_profile is not None
+            base_rtt = self.rtt_profile.sample_one(self.rng)
+            stage.set_flow_delay(handle.flow_id, max(0.0, base_rtt - self.network_rtt))

@@ -1,0 +1,50 @@
+"""Summary statistics for RTT samples (the Table 1 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RttSummary", "summarize_rtts"]
+
+
+@dataclass(frozen=True)
+class RttSummary:
+    """Mean / std / tail percentiles of an RTT sample set (seconds)."""
+
+    n_samples: int
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p99: float
+
+    def as_microseconds(self) -> "RttSummary":
+        """The same summary scaled to microseconds (Table 1's unit)."""
+        return RttSummary(
+            n_samples=self.n_samples,
+            mean=self.mean * 1e6,
+            std=self.std * 1e6,
+            p50=self.p50 * 1e6,
+            p90=self.p90 * 1e6,
+            p99=self.p99 * 1e6,
+        )
+
+
+def summarize_rtts(samples: Sequence[float]) -> RttSummary:
+    """Compute the Table 1 statistics for a set of RTT samples (seconds)."""
+    if len(samples) == 0:
+        raise ValueError("need at least one RTT sample")
+    array = np.asarray(samples, dtype=float)
+    if np.any(array < 0):
+        raise ValueError("RTT samples cannot be negative")
+    return RttSummary(
+        n_samples=len(array),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        p50=float(np.percentile(array, 50)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+    )

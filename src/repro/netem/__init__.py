@@ -1,0 +1,28 @@
+"""RTT-variation emulation: processing-delay components and netem stand-in."""
+
+from .components import (
+    HIGH_LOAD,
+    HYPERVISOR,
+    NETWORK_STACK,
+    SLB,
+    TABLE1_CASES,
+    DelayComponent,
+    sample_case_rtts,
+)
+from .delay import FlowDelayStage, install_delay_stage
+from .profiles import CLUSTER_SHAPES, RttProfile, RttStatistics
+
+__all__ = [
+    "HIGH_LOAD",
+    "HYPERVISOR",
+    "NETWORK_STACK",
+    "SLB",
+    "TABLE1_CASES",
+    "DelayComponent",
+    "sample_case_rtts",
+    "FlowDelayStage",
+    "install_delay_stage",
+    "CLUSTER_SHAPES",
+    "RttProfile",
+    "RttStatistics",
+]

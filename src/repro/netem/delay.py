@@ -1,0 +1,63 @@
+"""netem-style sender-side delay stage.
+
+The paper emulates RTT variation by running ``netem`` on the senders, adding
+a fixed extra delay to every outgoing packet.  :class:`FlowDelayStage` is the
+same mechanism: installed as a host's ``egress_delay_fn``, it holds every
+packet of a registered flow for the flow's configured one-way extra delay
+before it reaches the NIC queue.
+
+The flow's emulated base RTT is then ``network_rtt + extra_delay`` (the delay
+is applied on the data direction only; ACKs return undelayed, exactly as in
+the paper's client-side netem setup where responses bypass the delayed
+direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.network import Host
+from ..sim.packet import Packet
+
+__all__ = ["FlowDelayStage", "install_delay_stage"]
+
+
+class FlowDelayStage:
+    """Per-flow constant egress delay (the netem substitute)."""
+
+    def __init__(self) -> None:
+        self._delays: Dict[int, float] = {}
+
+    def set_flow_delay(self, flow_id: int, delay: float) -> None:
+        """Register the one-way extra delay for a flow's packets."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self._delays[flow_id] = delay
+
+    def clear_flow(self, flow_id: int) -> None:
+        """Forget a finished flow."""
+        self._delays.pop(flow_id, None)
+
+    def delay_for(self, packet: Packet) -> float:
+        """The hold time for a packet (0 for unregistered flows)."""
+        return self._delays.get(packet.flow_id, 0.0)
+
+    __call__ = delay_for
+
+
+def install_delay_stage(host: Host) -> FlowDelayStage:
+    """Attach a fresh delay stage to ``host`` and return it.
+
+    Reuses the existing stage if one is already installed, so multiple
+    traffic generators can share a host.
+    """
+    existing = host.egress_delay_fn
+    if isinstance(existing, FlowDelayStage):
+        return existing
+    if existing is not None:
+        raise RuntimeError(
+            f"host {host.name} already has a non-FlowDelayStage egress delay"
+        )
+    stage = FlowDelayStage()
+    host.egress_delay_fn = stage
+    return stage

@@ -1,0 +1,150 @@
+"""Discrete-event simulation engine.
+
+A :class:`Simulator` owns a monotonic virtual clock and a priority queue of
+pending events.  Events are plain ``(time, sequence, callback, args)`` tuples;
+the sequence number breaks ties so that events scheduled earlier run earlier,
+which keeps runs fully deterministic.
+
+Cancellable timers (used heavily by TCP retransmission logic) are provided by
+:class:`Timer`, which uses lazy cancellation: a cancelled or superseded firing
+is detected by a generation counter when the event pops, avoiding any need to
+remove entries from the middle of the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "Timer", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(0.001, callback, arg1, arg2)
+        sim.run(until=1.0)
+    """
+
+    __slots__ = ("_now", "_heap", "_sequence", "_events_processed", "_running")
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (for instrumentation)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including lazily cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}, current time is {self._now}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, callback, args))
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Dispatch events in time order.
+
+        Stops when the event queue drains, when the next event lies beyond
+        ``until``, or after ``max_events`` dispatches.  On an ``until`` stop
+        the clock is advanced to ``until`` so that subsequent scheduling is
+        relative to the requested horizon.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            dispatched = 0
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                when, _, callback, args = heapq.heappop(heap)
+                self._now = when
+                callback(*args)
+                dispatched += 1
+            self._events_processed += dispatched
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 100_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(until=None, max_events=max_events)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    ``restart`` supersedes any previously scheduled firing; ``cancel``
+    suppresses the pending firing.  Both are O(1): stale heap entries are
+    discarded when they pop by comparing generation counters.
+    """
+
+    __slots__ = ("_sim", "_callback", "_generation", "_armed", "expiry")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._generation = 0
+        self._armed = False
+        self.expiry: float = float("inf")
+
+    @property
+    def armed(self) -> bool:
+        """Whether a firing is currently pending."""
+        return self._armed
+
+    def restart(self, delay: float) -> None:
+        """(Re)schedule the timer ``delay`` seconds from now."""
+        self._generation += 1
+        self._armed = True
+        self.expiry = self._sim.now + delay
+        self._sim.schedule(delay, self._fire, self._generation)
+
+    def cancel(self) -> None:
+        """Suppress any pending firing."""
+        self._generation += 1
+        self._armed = False
+        self.expiry = float("inf")
+
+    def _fire(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by restart() or cancel()
+        self._armed = False
+        self.expiry = float("inf")
+        self._callback()

@@ -1,0 +1,103 @@
+"""Instrumentation: queue sampling and drop tracing.
+
+:class:`QueueMonitor` reproduces the paper's Figure 10 methodology: it
+samples the instantaneous queue length of a port at a fixed interval and
+records ``(time, packets, bytes)`` triples.  :class:`DropTracer` hooks a
+port's drop callback and tallies drops by reason and by flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .engine import Simulator
+from .packet import Packet
+from .port import Port
+
+__all__ = ["QueueMonitor", "QueueSample", "DropTracer"]
+
+
+class QueueSample:
+    """One observation of a port's queue."""
+
+    __slots__ = ("time", "packets", "bytes")
+
+    def __init__(self, time: float, packets: int, bytes_: int) -> None:
+        self.time = time
+        self.packets = packets
+        self.bytes = bytes_
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueueSample t={self.time:.6f} pkts={self.packets}>"
+
+
+class QueueMonitor:
+    """Periodically samples a port's queue occupancy.
+
+    Args:
+        sim: the simulator.
+        port: the port to observe.
+        interval: sampling period in seconds.
+        start: first sample time (absolute).
+        stop: optional absolute time after which sampling ceases.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: Port,
+        interval: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.stop = stop
+        self.samples: List[QueueSample] = []
+        sim.schedule_at(max(start, sim.now), self._sample)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        if self.stop is not None and now > self.stop:
+            return
+        self.samples.append(
+            QueueSample(now, self.port.queue_packets, self.port.queue_bytes)
+        )
+        self.sim.schedule(self.interval, self._sample)
+
+    # ------------------------------------------------------------- analysis
+
+    def average_packets(self) -> float:
+        """Mean queue length in packets over all samples."""
+        if not self.samples:
+            return 0.0
+        return sum(s.packets for s in self.samples) / len(self.samples)
+
+    def max_packets(self) -> int:
+        """Peak sampled queue length in packets."""
+        return max((s.packets for s in self.samples), default=0)
+
+    def series(self) -> Tuple[List[float], List[int]]:
+        """(times, packet counts) suitable for plotting Figure 10."""
+        return [s.time for s in self.samples], [s.packets for s in self.samples]
+
+
+class DropTracer:
+    """Counts packet drops on a port by reason and flow."""
+
+    def __init__(self, port: Port) -> None:
+        self.total = 0
+        self.by_reason: Dict[str, int] = {}
+        self.by_flow: Dict[int, int] = {}
+        self.events: List[Tuple[float, int, str]] = []
+        self._port = port
+        port.on_drop = self._record
+
+    def _record(self, packet: Packet, reason: str) -> None:
+        self.total += 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.by_flow[packet.flow_id] = self.by_flow.get(packet.flow_id, 0) + 1
+        self.events.append((self._port.sim.now, packet.flow_id, reason))

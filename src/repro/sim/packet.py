@@ -1,0 +1,129 @@
+"""Packets and ECN codepoints.
+
+Packets are deliberately lightweight (``__slots__``, no dictionaries): a
+single experiment moves hundreds of thousands of them through the event loop.
+
+ECN state follows RFC 3168's IP codepoints plus the two TCP header flags the
+transports need (ECE on ACKs).  A packet whose flow negotiated ECN carries
+``ECT0``; switch AQMs mark congestion by flipping it to ``CE``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Ecn", "Packet", "PacketFactory"]
+
+
+class Ecn:
+    """IP ECN codepoints (two-bit field)."""
+
+    NOT_ECT = 0  # transport is not ECN-capable; AQM must drop, not mark
+    ECT1 = 1
+    ECT0 = 2
+    CE = 3
+
+    @staticmethod
+    def is_ect(codepoint: int) -> bool:
+        """True if the codepoint indicates an ECN-capable transport."""
+        return codepoint != Ecn.NOT_ECT
+
+
+class Packet:
+    """A simulated packet (one TCP segment or ACK).
+
+    Attributes:
+        flow_id: Identifier of the owning flow; used for routing/hashing.
+        src / dst: Host identifiers (node names).
+        seq: Segment index for data packets (0-based); for ACKs, the
+            cumulative acknowledgement (next expected segment index).
+        size: Wire size in bytes, headers included.
+        is_ack: Pure ACK flag.
+        ecn: IP ECN codepoint (see :class:`Ecn`).
+        ece: TCP ECN-Echo flag (meaningful on ACKs).
+        service: Service / traffic class, used by multi-queue schedulers.
+        enqueue_time: Timestamp stamped by the switch queue at enqueue;
+            sojourn time = dequeue time - enqueue_time.
+        sent_time: Time the sender transmitted this packet (RTT sampling).
+        retransmission: Whether this data packet is a retransmission.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "size",
+        "is_ack",
+        "ecn",
+        "ece",
+        "service",
+        "enqueue_time",
+        "sent_time",
+        "retransmission",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        seq: int,
+        size: int,
+        is_ack: bool = False,
+        ecn: int = Ecn.ECT0,
+        ece: bool = False,
+        service: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.size = size
+        self.is_ack = is_ack
+        self.ecn = ecn
+        self.ece = ece
+        self.service = service
+        self.enqueue_time: float = -1.0
+        self.sent_time: float = -1.0
+        self.retransmission: bool = False
+
+    @property
+    def ce_marked(self) -> bool:
+        """Whether a switch has marked this packet Congestion Experienced."""
+        return self.ecn == Ecn.CE
+
+    def mark_ce(self) -> None:
+        """Set the CE codepoint (only valid for ECN-capable packets)."""
+        if not Ecn.is_ect(self.ecn) and self.ecn != Ecn.CE:
+            raise ValueError("cannot CE-mark a not-ECT packet")
+        self.ecn = Ecn.CE
+
+    def sojourn_time(self, now: float) -> float:
+        """Queueing delay experienced at the current switch queue."""
+        if self.enqueue_time < 0:
+            raise ValueError("packet was never enqueued")
+        return now - self.enqueue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return (
+            f"<Packet {kind} flow={self.flow_id} seq={self.seq} "
+            f"size={self.size} ecn={self.ecn} {self.src}->{self.dst}>"
+        )
+
+
+class PacketFactory:
+    """Allocates flow identifiers unique within one experiment."""
+
+    __slots__ = ("_next_flow_id",)
+
+    def __init__(self) -> None:
+        self._next_flow_id = 0
+
+    def next_flow_id(self) -> int:
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id

@@ -1,0 +1,98 @@
+"""Packet queues with byte and packet accounting.
+
+A :class:`PacketQueue` is a FIFO with O(1) byte/packet counters.  Egress
+ports own one or more of these (one per service class when a multi-queue
+scheduler is configured) and share a drop-tail buffer budget across them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .packet import Packet
+
+__all__ = ["PacketQueue", "BufferPool"]
+
+
+class PacketQueue:
+    """A FIFO of packets with constant-time byte/packet length queries."""
+
+    __slots__ = ("_packets", "_bytes", "service")
+
+    def __init__(self, service: int = 0) -> None:
+        self._packets: Deque[Packet] = deque()
+        self._bytes = 0
+        self.service = service
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def byte_length(self) -> int:
+        """Total bytes queued."""
+        return self._bytes
+
+    @property
+    def packet_length(self) -> int:
+        """Total packets queued."""
+        return len(self._packets)
+
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def push(self, packet: Packet) -> None:
+        """Append a packet to the tail."""
+        self._packets.append(packet)
+        self._bytes += packet.size
+
+    def pop(self) -> Packet:
+        """Remove and return the head packet."""
+        if not self._packets:
+            raise IndexError("pop from empty PacketQueue")
+        packet = self._packets.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head packet without removing it, or None if empty."""
+        return self._packets[0] if self._packets else None
+
+
+class BufferPool:
+    """Drop-tail byte budget shared by the queues of one egress port.
+
+    Mirrors a switch port's slice of shared packet buffer: an arriving packet
+    that would push the occupancy past ``capacity_bytes`` is dropped at
+    enqueue.  Accounting is in bytes because the paper's thresholds are
+    byte/time based and packets are variable-sized.
+    """
+
+    __slots__ = ("capacity_bytes", "_used")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def try_reserve(self, size: int) -> bool:
+        """Reserve ``size`` bytes; False (and no reservation) if full."""
+        if self._used + size > self.capacity_bytes:
+            return False
+        self._used += size
+        return True
+
+    def release(self, size: int) -> None:
+        """Return ``size`` bytes to the pool."""
+        self._used -= size
+        if self._used < 0:
+            raise RuntimeError("buffer accounting underflow")

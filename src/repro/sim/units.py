@@ -1,0 +1,119 @@
+"""Unit constants and converters used throughout the simulator.
+
+The simulator's canonical units are:
+
+* time      -- seconds (float)
+* data size -- bytes (int)
+* data rate -- bits per second (float)
+
+All other representations (microseconds, kilobytes, gigabits per second)
+are converted at the edges through the helpers in this module so that unit
+mistakes are confined to call sites rather than scattered through the
+simulation core.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time.
+# ---------------------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANOSECOND
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Data sizes.  ``KB``/``MB`` follow the networking convention used by the
+# paper: 1 KB = 1000 bytes would be unusual for buffer sizes, and the paper's
+# thresholds (e.g. 250KB ~ 166 full-size packets) are consistent with
+# 1 KB = 1024 bytes, matching Linux qdisc and switch documentation.
+# ---------------------------------------------------------------------------
+
+BYTE = 1
+KB = 1024
+MB = 1024 * KB
+
+
+def kb(value: float) -> int:
+    """Convert kilobytes to bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Convert megabytes to bytes."""
+    return int(value * MB)
+
+
+# ---------------------------------------------------------------------------
+# Data rates (bits per second).
+# ---------------------------------------------------------------------------
+
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return value * GBPS
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * MBPS
+
+
+def transmission_delay(size_bytes: int, rate_bps: float) -> float:
+    """Time in seconds to serialize ``size_bytes`` onto a ``rate_bps`` link."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps
+
+
+def bandwidth_delay_product(rate_bps: float, rtt_seconds: float) -> int:
+    """The classic C x RTT product, in bytes (rounded down)."""
+    if rate_bps < 0 or rtt_seconds < 0:
+        raise ValueError("rate and RTT must be non-negative")
+    return int(rate_bps * rtt_seconds / 8.0)
+
+
+# Standard Ethernet framing used by default everywhere in the reproduction.
+MTU = 1500
+"""Maximum transmission unit in bytes (IP + TCP + payload)."""
+
+HEADER_SIZE = 40
+"""Combined IP + TCP header size in bytes (no options)."""
+
+MSS = MTU - HEADER_SIZE
+"""Maximum segment size: payload bytes per full-sized packet."""
+
+ACK_SIZE = HEADER_SIZE
+"""A pure ACK carries headers only."""

@@ -1,0 +1,23 @@
+"""ECN-aware transports: DCTCP and regular ECN TCP (NewReno)."""
+
+from .base import SenderStats, TcpSender
+from .dcqcn import DcqcnParams, DcqcnSender
+from .dctcp import DCTCP_G, DctcpSender
+from .factory import CC_VARIANTS, FlowHandle, open_dcqcn_flow, open_flow
+from .reno import RenoSender
+from .sink import TcpSink
+
+__all__ = [
+    "SenderStats",
+    "TcpSender",
+    "DcqcnParams",
+    "DcqcnSender",
+    "open_dcqcn_flow",
+    "DCTCP_G",
+    "DctcpSender",
+    "CC_VARIANTS",
+    "FlowHandle",
+    "open_flow",
+    "RenoSender",
+    "TcpSink",
+]

@@ -1,0 +1,271 @@
+"""DCQCN: rate-based ECN congestion control (Zhu et al., SIGCOMM 2015).
+
+DCQCN is the RoCEv2 transport the paper's Section 3.5 discussion targets:
+unlike window-based DCTCP it paces packets at an explicit rate and adjusts
+that rate from Congestion Notification Packets (CNPs), so it needs the
+switch to mark *probabilistically* between Kmin and Kmax -- cut-off marking
+synchronises rate cuts across flows and breaks convergence.  This module
+provides the reaction-point (sender) algorithm so the
+:class:`~repro.core.ecn_sharp_prob.EcnSharpProbabilistic` extension can be
+exercised end to end.
+
+Simplifications relative to the full RoCE stack (documented in DESIGN.md):
+
+* CNP generation is modelled by the receiver echoing ECE on ACKs; the
+  sender rate-limits its reaction to one cut per ``cnp_interval`` exactly
+  as the RP algorithm prescribes.
+* The fabric is assumed lossless-by-configuration (PFC): experiments give
+  DCQCN deep buffers; residual drops recover via go-back-N on a timeout,
+  the RoCE NACK analogue.
+
+The RP (reaction point) algorithm follows the paper:
+
+* on CNP:   ``Rt = Rc; Rc *= (1 - alpha/2); alpha = (1-g)alpha + g``
+* alpha decays by ``(1-g)`` every ``alpha_timer`` without CNPs;
+* rate increase every ``increase_timer``: fast recovery (first ``F``
+  iterations) moves ``Rc`` halfway back to ``Rt``; afterwards additive
+  increase raises ``Rt`` by ``rai`` first (hyper increase is omitted --
+  it only matters at 40G+ recovery timescales).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..sim.engine import Simulator, Timer
+from ..sim.network import Host
+from ..sim.packet import Ecn, Packet
+from ..sim.units import HEADER_SIZE, MSS, ms, us
+
+__all__ = ["DcqcnSender", "DcqcnParams"]
+
+
+class DcqcnParams:
+    """RP-algorithm constants (defaults follow the DCQCN paper, scaled to
+    a 10G fabric)."""
+
+    __slots__ = (
+        "g",
+        "cnp_interval",
+        "alpha_timer",
+        "increase_timer",
+        "fast_recovery_rounds",
+        "rai",
+        "min_rate",
+    )
+
+    def __init__(
+        self,
+        g: float = 1.0 / 16.0,
+        cnp_interval: float = us(50),
+        alpha_timer: float = us(55),
+        increase_timer: float = us(55),
+        fast_recovery_rounds: int = 5,
+        rai: float = 40e6,
+        min_rate: float = 10e6,
+    ) -> None:
+        if not 0 < g <= 1:
+            raise ValueError("g must be in (0, 1]")
+        if min(cnp_interval, alpha_timer, increase_timer) <= 0:
+            raise ValueError("timers must be positive")
+        if fast_recovery_rounds <= 0:
+            raise ValueError("fast_recovery_rounds must be positive")
+        if rai <= 0 or min_rate <= 0:
+            raise ValueError("rates must be positive")
+        self.g = g
+        self.cnp_interval = cnp_interval
+        self.alpha_timer = alpha_timer
+        self.increase_timer = increase_timer
+        self.fast_recovery_rounds = fast_recovery_rounds
+        self.rai = rai
+        self.min_rate = min_rate
+
+
+class DcqcnSender:
+    """Rate-paced reliable sender with DCQCN's RP rate control.
+
+    Packets are emitted one serialization interval apart at the current
+    rate ``Rc``; cumulative ACKs (with ECE echoing CE marks) drive the RP
+    state machine.  A simple retransmission timeout with go-back-N provides
+    the RoCE NACK/retransmit analogue for the rare loss case.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        dst: str,
+        size_bytes: int,
+        line_rate_bps: float,
+        params: Optional[DcqcnParams] = None,
+        mss: int = MSS,
+        min_rto: float = ms(2),
+        service: int = 0,
+        on_complete: Optional[Callable[["DcqcnSender"], None]] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        if line_rate_bps <= 0:
+            raise ValueError("line rate must be positive")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.src = host.name
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.mss = mss
+        self.service = service
+        self.on_complete = on_complete
+        self.params = params if params is not None else DcqcnParams()
+        self.line_rate = line_rate_bps
+
+        self.total_segments = max(1, math.ceil(size_bytes / mss))
+        self._last_segment_payload = size_bytes - (self.total_segments - 1) * mss
+
+        # RP state.
+        self.rc = line_rate_bps  # current rate
+        self.rt = line_rate_bps  # target rate
+        self.alpha = 1.0
+        self._recovery_round = 0
+        self._last_cnp_time = -math.inf
+        self._alpha_timer = Timer(sim, self._alpha_decay)
+        self._increase_timer = Timer(sim, self._rate_increase)
+
+        # Reliability state.
+        self.highest_acked = 0
+        self.send_next = 0
+        self.min_rto = min_rto
+        self._rto_timer = Timer(sim, self._on_rto)
+        self._pacing_armed = False
+
+        self.started = False
+        self.completed = False
+        self.start_time = -1.0
+        self.completion_time = -1.0
+        self.cnps_received = 0
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("sender already started")
+        self.started = True
+        self.start_time = self.sim.now
+        self._alpha_timer.restart(self.params.alpha_timer)
+        self._increase_timer.restart(self.params.increase_timer)
+        self._send_next_packet()
+
+    @property
+    def flow_completion_time(self) -> float:
+        if not self.completed:
+            raise RuntimeError("flow not complete")
+        return self.completion_time - self.start_time
+
+    # --------------------------------------------------------------- pacing
+
+    def _segment_payload(self, seq: int) -> int:
+        if seq == self.total_segments - 1:
+            return self._last_segment_payload
+        return self.mss
+
+    def _send_next_packet(self) -> None:
+        self._pacing_armed = False
+        if self.completed or self.send_next >= self.total_segments:
+            return
+        seq = self.send_next
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.src,
+            dst=self.dst,
+            seq=seq,
+            size=self._segment_payload(seq) + HEADER_SIZE,
+            ecn=Ecn.ECT0,
+            service=self.service,
+        )
+        packet.sent_time = self.sim.now
+        self.host.transmit(packet)
+        self.segments_sent += 1
+        self.send_next += 1
+        if not self._rto_timer.armed:
+            self._rto_timer.restart(max(self.min_rto, ms(1)))
+        self._arm_pacing()
+
+    def _arm_pacing(self) -> None:
+        if self._pacing_armed or self.completed:
+            return
+        if self.send_next >= self.total_segments:
+            return
+        gap = self.mss * 8.0 / max(self.rc, self.params.min_rate)
+        self._pacing_armed = True
+        self.sim.schedule(gap, self._send_next_packet)
+
+    # ------------------------------------------------------------- RP logic
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_ack or self.completed:
+            return
+        if packet.ece:
+            self._on_cnp()
+        if packet.seq > self.highest_acked:
+            self.highest_acked = packet.seq
+            if self.highest_acked >= self.total_segments:
+                self._complete()
+                return
+            self._rto_timer.restart(max(self.min_rto, ms(1)))
+
+    def _on_cnp(self) -> None:
+        now = self.sim.now
+        if now - self._last_cnp_time < self.params.cnp_interval:
+            return  # RP reacts at most once per CNP interval
+        self._last_cnp_time = now
+        self.cnps_received += 1
+        self.rt = self.rc
+        self.rc = max(self.rc * (1.0 - self.alpha / 2.0), self.params.min_rate)
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g
+        self._recovery_round = 0
+
+    def _alpha_decay(self) -> None:
+        if self.completed:
+            return
+        if self.sim.now - self._last_cnp_time >= self.params.alpha_timer:
+            self.alpha = (1.0 - self.params.g) * self.alpha
+        self._alpha_timer.restart(self.params.alpha_timer)
+
+    def _rate_increase(self) -> None:
+        if self.completed:
+            return
+        self._recovery_round += 1
+        if self._recovery_round > self.params.fast_recovery_rounds:
+            # Additive increase stage: push the target up, then converge.
+            self.rt = min(self.rt + self.params.rai, self.line_rate)
+        self.rc = min((self.rt + self.rc) / 2.0, self.line_rate)
+        self._increase_timer.restart(self.params.increase_timer)
+
+    # ----------------------------------------------------------- reliability
+
+    def _on_rto(self) -> None:
+        if self.completed:
+            return
+        self.timeouts += 1
+        # Go-back-N from the cumulative ACK point (the RoCE NACK analogue).
+        self.retransmissions += self.send_next - self.highest_acked
+        self.send_next = self.highest_acked
+        self._rto_timer.restart(max(self.min_rto, ms(1)) * 2)
+        self._arm_pacing()
+
+    # ------------------------------------------------------------ completion
+
+    def _complete(self) -> None:
+        self.completed = True
+        self.completion_time = self.sim.now
+        self._rto_timer.cancel()
+        self._alpha_timer.cancel()
+        self._increase_timer.cancel()
+        self.host.unregister_endpoint(self.flow_id)
+        if self.on_complete is not None:
+            self.on_complete(self)

@@ -1,0 +1,80 @@
+"""DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+DCTCP estimates the fraction of ECN-marked bytes per window with an EWMA::
+
+    alpha <- (1 - g) * alpha + g * F        (g = 1/16)
+
+and, once per window in which any mark was seen, cuts the congestion window
+proportionally::
+
+    cwnd <- cwnd * (1 - alpha / 2)
+
+which yields the small effective lambda (~0.17) in Equation 1 and hence the
+low marking thresholds DCTCP can operate with.
+
+Loss recovery, slow start, RTO and fast retransmit are inherited unchanged
+from :class:`repro.tcp.base.TcpSender` (DCTCP only alters the ECN reaction).
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import TcpSender
+
+__all__ = ["DctcpSender", "DCTCP_G"]
+
+DCTCP_G = 1.0 / 16.0
+"""EWMA gain recommended by the DCTCP paper."""
+
+
+class DctcpSender(TcpSender):
+    """TCP sender with DCTCP's fractional window reduction."""
+
+    def __init__(self, *args, g: float = DCTCP_G, init_alpha: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 < g <= 1.0:
+            raise ValueError("g must be in (0, 1]")
+        if not 0.0 <= init_alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.g = g
+        self.alpha = init_alpha
+        self._window_end = 0  # cumulative ack level that closes this window
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+        self._cwr_point = -1  # ack level that ends the current reduction epoch
+
+    # ------------------------------------------------------------ ECN hooks
+
+    def _on_ecn_signal(self, ack: Packet, newly_acked: int) -> None:
+        if newly_acked <= 0:
+            # Duplicate ACKs still echo marks, but byte attribution is
+            # ambiguous; DCTCP implementations count only new data.
+            return
+        acked_bytes = newly_acked * self.mss
+        self._acked_bytes += acked_bytes
+        if not ack.ece:
+            return
+        self._marked_bytes += acked_bytes
+        self.stats.ecn_signals += 1
+        # Linux behaviour: the first ECE of a window enters CWR immediately
+        # (tcp_enter_cwr), cutting cwnd by the *current* alpha -- it does not
+        # wait for the window boundary.  This bounds slow-start overshoot to
+        # roughly one RTT of growth past the marking threshold.
+        if self.highest_acked + newly_acked > self._cwr_point:
+            reduced = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+            self.ssthresh = max(reduced, 2.0)
+            self.cwnd = reduced
+            self._cwr_point = self.send_next
+
+    def _on_window_boundary(self) -> None:
+        # Alpha is refreshed once per window of data from the marked-byte
+        # fraction observed over that window (the cut itself happened on the
+        # window's first ECE, above).
+        if self.highest_acked < self._window_end:
+            return
+        if self._acked_bytes > 0:
+            fraction = self._marked_bytes / self._acked_bytes
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+        self._window_end = self.send_next

@@ -1,0 +1,229 @@
+"""Flow setup: wire a sender and a sink across the network.
+
+``open_flow`` is the single entry point the workload generators and the
+examples use: it allocates a flow id, creates the congestion-control variant
+requested, registers both endpoints on their hosts, and schedules the flow's
+start.  The returned :class:`FlowHandle` exposes flow completion time once
+the receiver has all the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+from ..sim.network import Host, Network
+from ..sim.packet import PacketFactory
+from ..sim.units import MSS, ms
+from .base import TcpSender
+from .dcqcn import DcqcnParams, DcqcnSender
+from .dctcp import DctcpSender
+from .reno import RenoSender
+from .sink import TcpSink
+
+__all__ = ["FlowHandle", "open_flow", "open_dcqcn_flow", "CC_VARIANTS"]
+
+CC_VARIANTS: Dict[str, Type[TcpSender]] = {
+    "dctcp": DctcpSender,
+    "reno": RenoSender,
+    "ecn-tcp": RenoSender,
+}
+
+
+@dataclass
+class FlowHandle:
+    """A started flow: both endpoints plus identity and timing."""
+
+    flow_id: int
+    size_bytes: int
+    sender: TcpSender
+    sink: TcpSink
+    start_time: float
+    service: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """Whether the receiver has every byte."""
+        return self.sink.completed
+
+    @property
+    def fct(self) -> float:
+        """Receiver-side flow completion time (seconds)."""
+        if not self.sink.completed:
+            raise RuntimeError(f"flow {self.flow_id} not complete")
+        return self.sink.completion_time - self.start_time
+
+    @property
+    def timeouts(self) -> int:
+        return self.sender.stats.timeouts
+
+
+def open_flow(
+    network: Network,
+    factory: PacketFactory,
+    src: Host,
+    dst: Host,
+    size_bytes: int,
+    cc: str = "dctcp",
+    start_time: Optional[float] = None,
+    service: int = 0,
+    mss: int = MSS,
+    init_cwnd: float = 10.0,
+    min_rto: float = ms(2),
+    on_complete: Optional[Callable[[FlowHandle], None]] = None,
+    **sender_kwargs,
+) -> FlowHandle:
+    """Create and schedule one flow from ``src`` to ``dst``.
+
+    Args:
+        network: the wired network (routes must already be computed).
+        factory: flow-id allocator shared by the experiment.
+        src / dst: endpoint hosts.
+        size_bytes: flow size.
+        cc: congestion control variant ("dctcp", "reno"/"ecn-tcp").
+        start_time: absolute start; defaults to "now".
+        service: traffic class (selects the queue under multi-queue
+            schedulers).
+        on_complete: callback fired with the handle at receiver completion.
+        sender_kwargs: forwarded to the sender constructor (e.g. ``g`` for
+            DCTCP).
+
+    Returns:
+        The :class:`FlowHandle`.
+    """
+    if src is dst:
+        raise ValueError("source and destination hosts must differ")
+    try:
+        sender_cls = CC_VARIANTS[cc]
+    except KeyError:
+        raise ValueError(f"unknown congestion control {cc!r}") from None
+
+    sim = network.sim
+    flow_id = factory.next_flow_id()
+    when = sim.now if start_time is None else start_time
+    if when < sim.now:
+        raise ValueError("flow start time is in the past")
+
+    handle_box: Dict[str, FlowHandle] = {}
+
+    def _sink_complete(_sink: TcpSink) -> None:
+        if on_complete is not None:
+            on_complete(handle_box["handle"])
+
+    sender = sender_cls(
+        sim,
+        src,
+        flow_id,
+        dst.name,
+        size_bytes,
+        mss=mss,
+        init_cwnd=init_cwnd,
+        min_rto=min_rto,
+        service=service,
+        **sender_kwargs,
+    )
+    sink = TcpSink(
+        sim,
+        dst,
+        flow_id,
+        src.name,
+        total_segments=sender.total_segments,
+        service=service,
+        on_complete=_sink_complete,
+    )
+    src.register_endpoint(flow_id, sender)
+    dst.register_endpoint(flow_id, sink)
+
+    handle = FlowHandle(
+        flow_id=flow_id,
+        size_bytes=size_bytes,
+        sender=sender,
+        sink=sink,
+        start_time=when,
+        service=service,
+    )
+    handle_box["handle"] = handle
+    sim.schedule_at(when, sender.start)
+    return handle
+
+
+def open_dcqcn_flow(
+    network: Network,
+    factory: PacketFactory,
+    src: Host,
+    dst: Host,
+    size_bytes: int,
+    line_rate_bps: float,
+    params: Optional[DcqcnParams] = None,
+    start_time: Optional[float] = None,
+    service: int = 0,
+    mss: int = MSS,
+    min_rto: float = ms(2),
+) -> "DcqcnFlowHandle":
+    """Create and schedule one rate-based DCQCN flow (Section 3.5 path).
+
+    Mirrors :func:`open_flow` but drives the RoCE-style
+    :class:`~repro.tcp.dcqcn.DcqcnSender`, which paces at an explicit rate
+    instead of running a congestion window.
+    """
+    if src is dst:
+        raise ValueError("source and destination hosts must differ")
+    sim = network.sim
+    flow_id = factory.next_flow_id()
+    when = sim.now if start_time is None else start_time
+    if when < sim.now:
+        raise ValueError("flow start time is in the past")
+
+    sender = DcqcnSender(
+        sim,
+        src,
+        flow_id,
+        dst.name,
+        size_bytes,
+        line_rate_bps=line_rate_bps,
+        params=params,
+        mss=mss,
+        min_rto=min_rto,
+        service=service,
+    )
+    sink = TcpSink(
+        sim,
+        dst,
+        flow_id,
+        src.name,
+        total_segments=sender.total_segments,
+        service=service,
+    )
+    src.register_endpoint(flow_id, sender)
+    dst.register_endpoint(flow_id, sink)
+    sim.schedule_at(when, sender.start)
+    return DcqcnFlowHandle(
+        flow_id=flow_id,
+        size_bytes=size_bytes,
+        sender=sender,
+        sink=sink,
+        start_time=when,
+        service=service,
+    )
+
+
+@dataclass
+class DcqcnFlowHandle:
+    """A started DCQCN flow: endpoints plus identity and timing."""
+
+    flow_id: int
+    size_bytes: int
+    sender: DcqcnSender
+    sink: TcpSink
+    start_time: float
+    service: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.sink.completed
+
+    @property
+    def fct(self) -> float:
+        if not self.sink.completed:
+            raise RuntimeError(f"flow {self.flow_id} not complete")
+        return self.sink.completion_time - self.start_time

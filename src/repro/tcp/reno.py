@@ -1,0 +1,31 @@
+"""ECN-enabled NewReno: the "regular ECN TCP" of the paper (lambda = 1).
+
+On an ACK carrying ECN-Echo, the window is halved -- but at most once per
+round trip (RFC 3168's congestion-window-reduced epoch), implemented by
+ignoring further echoes until the ACK level passes the point at which the
+reduction was taken.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import TcpSender
+
+__all__ = ["RenoSender"]
+
+
+class RenoSender(TcpSender):
+    """TCP sender that halves cwnd on ECN marks (once per window)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cwr_point = -1  # ACK level that ends the current reduction epoch
+
+    def _on_ecn_signal(self, ack: Packet, newly_acked: int) -> None:
+        if not ack.ece:
+            return
+        self.stats.ecn_signals += 1
+        if self.highest_acked + newly_acked <= self._cwr_point:
+            return  # already reduced for this window of data
+        self._halve_window()
+        self._cwr_point = self.send_next

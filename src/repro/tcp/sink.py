@@ -1,0 +1,106 @@
+"""TCP receiver: cumulative ACKs, ECN echo, flow completion recording.
+
+The sink acknowledges every data segment immediately (no delayed ACKs) and
+echoes the CE mark of the segment that triggered the ACK -- the "accurate
+ECE" behaviour DCTCP requires so the sender can estimate the marked fraction.
+For the Reno variant this per-packet echo is a faithful-enough stand-in for
+RFC 3168 ECE latching because Reno reacts at most once per window anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from ..sim.engine import Simulator
+from ..sim.network import Host
+from ..sim.packet import Ecn, Packet
+from ..sim.units import ACK_SIZE
+
+__all__ = ["TcpSink"]
+
+
+class TcpSink:
+    """Receiver endpoint for one flow.
+
+    Args:
+        sim: simulator.
+        host: the receiving host.
+        flow_id: flow identifier (matches the sender's).
+        src: the *sender's* host name (destination of ACKs).
+        total_segments: number of segments the flow carries.
+        on_complete: fired once, when the last in-order byte arrives.  This
+            is the receiver-side FCT event used by the experiment harness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        src: str,
+        total_segments: int,
+        service: int = 0,
+        on_complete: Optional[Callable[["TcpSink"], None]] = None,
+    ) -> None:
+        if total_segments <= 0:
+            raise ValueError("total_segments must be positive")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.src = src
+        self.total_segments = total_segments
+        self.service = service
+        self.on_complete = on_complete
+
+        self.expected = 0  # next in-order segment index
+        self._out_of_order: Set[int] = set()
+        self.completed = False
+        self.completion_time: float = -1.0
+        self.segments_received = 0
+        self.duplicates_received = 0
+        self.ce_received = 0
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_ack:
+            return  # sinks only consume data
+        self.segments_received += 1
+        if packet.ce_marked:
+            self.ce_received += 1
+
+        seq = packet.seq
+        if seq == self.expected:
+            self.expected += 1
+            while self.expected in self._out_of_order:
+                self._out_of_order.discard(self.expected)
+                self.expected += 1
+        elif seq > self.expected:
+            if seq in self._out_of_order:
+                self.duplicates_received += 1
+            self._out_of_order.add(seq)
+        else:
+            self.duplicates_received += 1
+
+        self._send_ack(ece=packet.ce_marked)
+
+        if not self.completed and self.expected >= self.total_segments:
+            self.completed = True
+            self.completion_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
+            # Stay registered: late retransmits still deserve ACKs so the
+            # sender can terminate cleanly; the host drops packets for flows
+            # only after the sender unregisters its side.
+
+    def _send_ack(self, ece: bool) -> None:
+        ack = Packet(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.src,
+            seq=self.expected,
+            size=ACK_SIZE,
+            is_ack=True,
+            ecn=Ecn.NOT_ECT,
+            ece=ece,
+            service=self.service,
+        )
+        self.host.transmit(ack)

@@ -1,0 +1,13 @@
+"""Topology builders: testbed star/dumbbell, incast rig, leaf-spine fabric."""
+
+from .leafspine import LeafSpineTopology, build_leafspine
+from .star import StarTopology, build_dumbbell, build_incast, build_star
+
+__all__ = [
+    "LeafSpineTopology",
+    "build_leafspine",
+    "StarTopology",
+    "build_dumbbell",
+    "build_incast",
+    "build_star",
+]

@@ -1,0 +1,137 @@
+"""Single-switch star topologies: the testbed dumbbell and the incast rig.
+
+The paper's testbed is 8 servers on one Tofino switch (7 senders, 1
+receiver); the microscopic simulations use 16 senders and 1 receiver.  Both
+are instances of :func:`build_star`: N senders and one receiver on a single
+switch, with the AQM under test installed on the switch's egress ports (the
+bottleneck is the switch-to-receiver port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.base import Aqm
+from ..netem.delay import FlowDelayStage, install_delay_stage
+from ..sim.engine import Simulator
+from ..sim.network import Host, Network, Switch
+from ..sim.port import Port
+from ..sim.scheduler import Scheduler
+from ..sim.units import gbps, mb, us
+
+__all__ = ["StarTopology", "build_star", "build_dumbbell", "build_incast", "HOST_QDISC_BYTES"]
+
+HOST_QDISC_BYTES = mb(16)
+"""Host uplink (NIC/qdisc) buffer: deep, like a Linux pfifo_fast/TSQ stack,
+so slow-start overshoot queues at the sender instead of being dropped --
+switch ports keep their shallow ``buffer_bytes``."""
+
+AqmFactory = Callable[[], Aqm]
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class StarTopology:
+    """A built star: handles to everything an experiment needs."""
+
+    network: Network
+    switch: Switch
+    senders: List[Host]
+    receiver: Host
+    bottleneck: Port  # switch -> receiver egress port
+    sender_stages: Dict[str, FlowDelayStage] = field(default_factory=dict)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    def stage_for(self, host: Host) -> FlowDelayStage:
+        """The netem delay stage of a sender host."""
+        return self.sender_stages[host.name]
+
+
+def build_star(
+    n_senders: int,
+    link_rate_bps: float = gbps(10),
+    link_delay: float = us(2),
+    buffer_bytes: int = mb(1),
+    aqm_factory: Optional[AqmFactory] = None,
+    bottleneck_scheduler_factory: Optional[SchedulerFactory] = None,
+    network: Optional[Network] = None,
+) -> StarTopology:
+    """Wire N senders and one receiver through a single switch.
+
+    Args:
+        n_senders: number of sending hosts.
+        link_rate_bps: rate of every link (the receiver link is the
+            bottleneck under many-to-one traffic).
+        link_delay: per-link propagation delay; the uncongested network RTT
+            is ~4 link delays plus serialization.
+        buffer_bytes: per-port buffer at the switch.
+        aqm_factory: builds a fresh AQM per switch egress port (the scheme
+            under test).  ``None`` means drop-tail.
+        bottleneck_scheduler_factory: optional multi-queue scheduler for the
+            switch-to-receiver port (Figure 13's DWRR experiment).
+        network: an existing network to build into (a fresh one by default).
+
+    Returns:
+        The built :class:`StarTopology` with routes installed.
+    """
+    if n_senders <= 0:
+        raise ValueError("need at least one sender")
+    net = network if network is not None else Network()
+    switch = net.add_switch("sw0")
+    senders: List[Host] = []
+    stages: Dict[str, FlowDelayStage] = {}
+
+    for index in range(n_senders):
+        host = net.add_host(f"h{index}")
+        net.connect(
+            host,
+            switch,
+            rate_bps=link_rate_bps,
+            propagation_delay=link_delay,
+            buffer_bytes=buffer_bytes,
+            buffer_bytes_a_to_b=HOST_QDISC_BYTES,
+            aqm_b_to_a=aqm_factory() if aqm_factory is not None else None,
+        )
+        stages[host.name] = install_delay_stage(host)
+        senders.append(host)
+
+    receiver = net.add_host("recv")
+    _, switch_to_recv = net.connect(
+        receiver,
+        switch,
+        rate_bps=link_rate_bps,
+        propagation_delay=link_delay,
+        buffer_bytes=buffer_bytes,
+        buffer_bytes_a_to_b=HOST_QDISC_BYTES,
+        aqm_b_to_a=aqm_factory() if aqm_factory is not None else None,
+        scheduler_b_to_a=(
+            bottleneck_scheduler_factory()
+            if bottleneck_scheduler_factory is not None
+            else None
+        ),
+    )
+    net.compute_routes()
+    return StarTopology(
+        network=net,
+        switch=switch,
+        senders=senders,
+        receiver=receiver,
+        bottleneck=switch_to_recv,
+        sender_stages=stages,
+    )
+
+
+def build_dumbbell(**kwargs) -> StarTopology:
+    """The paper's 8-server testbed: 7 senders, 1 receiver, 10 Gbps."""
+    kwargs.setdefault("n_senders", 7)
+    return build_star(**kwargs)
+
+
+def build_incast(**kwargs) -> StarTopology:
+    """The Section 5.4 microscopic rig: 16 senders, 1 receiver, 10 Gbps."""
+    kwargs.setdefault("n_senders", 16)
+    return build_star(**kwargs)

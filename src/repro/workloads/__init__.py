@@ -1,0 +1,25 @@
+"""Traffic generation: production flow-size CDFs, Poisson arrivals, incast."""
+
+from .arrivals import (
+    PoissonTrafficGenerator,
+    TransportConfig,
+    any_to_any_pair_picker,
+    star_pair_picker,
+)
+from .datamining import DATA_MINING
+from .distributions import EmpiricalCdf
+from .incast import QUERY_MAX_BYTES, QUERY_MIN_BYTES, launch_query
+from .websearch import WEB_SEARCH
+
+__all__ = [
+    "PoissonTrafficGenerator",
+    "TransportConfig",
+    "any_to_any_pair_picker",
+    "star_pair_picker",
+    "DATA_MINING",
+    "EmpiricalCdf",
+    "QUERY_MAX_BYTES",
+    "QUERY_MIN_BYTES",
+    "launch_query",
+    "WEB_SEARCH",
+]

@@ -1,0 +1,205 @@
+"""Poisson flow arrivals at a target load (Section 5.1 methodology).
+
+Flows arrive according to a Poisson process whose rate is chosen so the
+average offered load on the reference capacity hits the requested fraction::
+
+    arrival_rate = load * capacity / (8 * mean_flow_size)
+
+Each arriving flow picks endpoints through a pluggable pair picker (fixed
+receiver for the testbed star, uniform random pairs for leaf-spine), samples
+a flow size from the workload CDF and, when an RTT profile is configured, a
+base RTT whose delta over the physical network RTT is installed as a
+netem-style sender-side delay -- the paper's RTT-variation emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..netem.delay import FlowDelayStage
+from ..netem.profiles import RttProfile
+from ..sim.network import Host, Network
+from ..sim.packet import PacketFactory
+from ..sim.units import MSS, ms
+from ..tcp.factory import FlowHandle, open_flow
+from .distributions import EmpiricalCdf
+
+__all__ = ["TransportConfig", "PoissonTrafficGenerator", "star_pair_picker", "any_to_any_pair_picker"]
+
+PairPicker = Callable[[np.random.Generator], Tuple[Host, Host]]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Transport parameters shared by all generated flows."""
+
+    cc: str = "dctcp"
+    mss: int = MSS
+    init_cwnd: float = 10.0
+    min_rto: float = ms(2)
+
+
+def star_pair_picker(senders: List[Host], receiver: Host) -> PairPicker:
+    """Uniform random sender, fixed receiver (the testbed pattern)."""
+    if not senders:
+        raise ValueError("need at least one sender")
+
+    def pick(rng: np.random.Generator) -> Tuple[Host, Host]:
+        return senders[int(rng.integers(len(senders)))], receiver
+
+    return pick
+
+
+def any_to_any_pair_picker(hosts: List[Host]) -> PairPicker:
+    """Uniform random distinct (src, dst) pairs (the leaf-spine pattern)."""
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+
+    def pick(rng: np.random.Generator) -> Tuple[Host, Host]:
+        src_index = int(rng.integers(len(hosts)))
+        dst_index = int(rng.integers(len(hosts) - 1))
+        if dst_index >= src_index:
+            dst_index += 1
+        return hosts[src_index], hosts[dst_index]
+
+    return pick
+
+
+class PoissonTrafficGenerator:
+    """Generates flows with Poisson arrivals until a flow budget is spent.
+
+    Args:
+        network: the wired network.
+        factory: shared flow-id allocator.
+        pair_picker: returns (src, dst) hosts per arrival.
+        workload: flow-size CDF.
+        load: offered load fraction in (0, 1] of ``capacity_bps``.
+        capacity_bps: reference capacity the load is defined against
+            (bottleneck link for a star; aggregate host capacity for
+            any-to-any traffic).
+        n_flows: number of flows to launch.
+        rng: numpy random generator (owned by the experiment; seeds flow
+            sizes, arrivals, endpoint choice and RTTs).
+        rtt_profile: optional per-flow base-RTT profile.
+        network_rtt: physical network RTT subtracted from sampled base RTTs
+            to compute the sender-side netem delay.
+        delay_stage_of: maps a sender host to its delay stage (topologies
+            provide this); required when ``rtt_profile`` is set.
+        transport: transport configuration.
+        on_flow_complete: callback per completed flow (FCT recording).
+        service: traffic class for all generated flows.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        factory: PacketFactory,
+        pair_picker: PairPicker,
+        workload: EmpiricalCdf,
+        load: float,
+        capacity_bps: float,
+        n_flows: int,
+        rng: np.random.Generator,
+        rtt_profile: Optional[RttProfile] = None,
+        network_rtt: float = 0.0,
+        delay_stage_of: Optional[Callable[[Host], FlowDelayStage]] = None,
+        transport: TransportConfig = TransportConfig(),
+        on_flow_complete: Optional[Callable[[FlowHandle], None]] = None,
+        service: int = 0,
+    ) -> None:
+        if not 0.0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        if rtt_profile is not None and delay_stage_of is None:
+            raise ValueError("rtt_profile requires delay_stage_of")
+        self.network = network
+        self.factory = factory
+        self.pair_picker = pair_picker
+        self.workload = workload
+        self.load = load
+        self.capacity_bps = capacity_bps
+        self.n_flows = n_flows
+        self.rng = rng
+        self.rtt_profile = rtt_profile
+        self.network_rtt = network_rtt
+        self.delay_stage_of = delay_stage_of
+        self.transport = transport
+        self.on_flow_complete = on_flow_complete
+        self.service = service
+
+        mean_size = workload.mean()
+        self.arrival_rate = load * capacity_bps / (8.0 * mean_size)
+        self.flows: List[FlowHandle] = []
+        self._launched = 0
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Average seconds between flow arrivals."""
+        return 1.0 / self.arrival_rate
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the first arrival."""
+        first = at + float(self.rng.exponential(self.mean_interarrival))
+        self.network.sim.schedule_at(first, self._arrival)
+
+    # ----------------------------------------------------------- internals
+
+    def _arrival(self) -> None:
+        if self._launched >= self.n_flows:
+            return
+        self._launched += 1
+        self._launch_flow()
+        if self._launched < self.n_flows:
+            gap = float(self.rng.exponential(self.mean_interarrival))
+            self.network.sim.schedule(gap, self._arrival)
+
+    def _launch_flow(self) -> None:
+        src, dst = self.pair_picker(self.rng)
+        size = self.workload.sample_one(self.rng)
+
+        stage: Optional[FlowDelayStage] = None
+        if self.rtt_profile is not None:
+            assert self.delay_stage_of is not None
+            stage = self.delay_stage_of(src)
+
+        def complete(handle: FlowHandle) -> None:
+            if stage is not None:
+                stage.clear_flow(handle.flow_id)
+            if self.on_flow_complete is not None:
+                self.on_flow_complete(handle)
+
+        handle = open_flow(
+            self.network,
+            self.factory,
+            src,
+            dst,
+            size,
+            cc=self.transport.cc,
+            mss=self.transport.mss,
+            init_cwnd=self.transport.init_cwnd,
+            min_rto=self.transport.min_rto,
+            service=self.service,
+            on_complete=complete,
+        )
+        if stage is not None:
+            assert self.rtt_profile is not None
+            base_rtt = self.rtt_profile.sample_one(self.rng)
+            extra = max(0.0, base_rtt - self.network_rtt)
+            stage.set_flow_delay(handle.flow_id, extra)
+        self.flows.append(handle)
+
+    # ------------------------------------------------------------- status
+
+    @property
+    def launched(self) -> int:
+        return self._launched
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for flow in self.flows if flow.completed)

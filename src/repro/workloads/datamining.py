@@ -1,0 +1,33 @@
+"""Data mining workload (VL2, SIGCOMM 2009).
+
+The flow-size CDF below is the published data-mining curve as distributed
+with the paper's own traffic generator (HKUST-SING/TrafficGenerator,
+``VL2_CDF.txt``).  It is even heavier-tailed than web search: ~80% of flows
+are below 350 KB, yet flows above 10 MB carry most of the bytes.
+"""
+
+from __future__ import annotations
+
+from .distributions import EmpiricalCdf
+
+__all__ = ["DATA_MINING"]
+
+DATA_MINING = EmpiricalCdf(
+    name="data-mining",
+    points=(
+        (100, 0.00),
+        (180, 0.10),
+        (250, 0.20),
+        (560, 0.30),
+        (900, 0.40),
+        (1_100, 0.50),
+        (60_000, 0.60),
+        (90_000, 0.70),
+        (350_000, 0.80),
+        (4_000_000, 0.90),
+        (10_000_000, 0.95),
+        (30_000_000, 0.98),
+        (100_000_000, 1.00),
+    ),
+)
+"""VL2 data-mining flow-size distribution (bytes)."""

@@ -1,0 +1,36 @@
+"""Web search workload (DCTCP, SIGCOMM 2010).
+
+The flow-size CDF below is the published web-search curve as distributed
+with the paper's own traffic generator (HKUST-SING/TrafficGenerator,
+``DCTCP_CDF.txt``).  It is the burstier of the two evaluation workloads:
+over half the flows are under 30 KB while ~30% of the bytes come from flows
+larger than 1 MB.
+"""
+
+from __future__ import annotations
+
+from .distributions import EmpiricalCdf
+
+__all__ = ["WEB_SEARCH"]
+
+WEB_SEARCH = EmpiricalCdf(
+    name="web-search",
+    points=(
+        (1_000, 0.00),
+        (2_000, 0.05),
+        (3_000, 0.10),
+        (5_000, 0.20),
+        (7_000, 0.30),
+        (10_000, 0.40),
+        (15_000, 0.50),
+        (30_000, 0.60),
+        (70_000, 0.70),
+        (150_000, 0.80),
+        (600_000, 0.90),
+        (1_500_000, 0.95),
+        (3_500_000, 0.98),
+        (10_000_000, 0.99),
+        (30_000_000, 1.00),
+    ),
+)
+"""DCTCP web-search flow-size distribution (bytes)."""

@@ -1,0 +1,136 @@
+"""Unit tests for CoDel and TCN, and contrast tests against ECN#."""
+
+import pytest
+
+from repro.core.codel import Codel
+from repro.core.ecn_sharp import EcnSharp, EcnSharpConfig
+from repro.core.tcn import Tcn
+from repro.sim.packet import Ecn
+from repro.sim.units import us
+
+from conftest import StampedPacket
+
+
+def feed(aqm, now, sojourn, ecn=Ecn.ECT0):
+    packet = StampedPacket(sojourn=sojourn, ecn=ecn)
+    survived = aqm.on_dequeue(packet, now)
+    return packet, survived
+
+
+class TestCodel:
+    def test_no_mark_below_target(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(240))
+        packet, _ = feed(aqm, now=us(10), sojourn=us(5))
+        assert not packet.ce_marked
+
+    def test_no_immediate_mark_on_burst(self):
+        """CoDel's defining weakness vs ECN#: a sudden huge sojourn does NOT
+        mark until it persists for an interval (Section 3.5)."""
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(240))
+        packet, _ = feed(aqm, now=us(10), sojourn=us(500))
+        assert not packet.ce_marked
+
+    def test_marks_after_persistent_interval(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(240))
+        feed(aqm, now=us(10), sojourn=us(50))  # starts first_above clock
+        packet, _ = feed(aqm, now=us(260), sojourn=us(50))
+        assert packet.ce_marked
+
+    def test_dip_resets(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(240))
+        feed(aqm, now=us(10), sojourn=us(50))
+        feed(aqm, now=us(100), sojourn=us(1))
+        packet, _ = feed(aqm, now=us(260), sojourn=us(50))
+        assert not packet.ce_marked
+
+    def test_control_law_escalates(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(100))
+        t, marks = 0.0, 0
+        for _ in range(3_000):
+            t += us(1)
+            packet, _ = feed(aqm, now=t, sojourn=us(50))
+            marks += packet.ce_marked
+        # Escalating control law: well more than 1 mark per interval late on.
+        assert marks > 3_000 / 100 * 1.5
+
+    def test_not_ect_dropped_when_marking(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(100))
+        feed(aqm, now=us(10), sojourn=us(50))
+        _, survived = feed(aqm, now=us(150), sojourn=us(50), ecn=Ecn.NOT_ECT)
+        assert not survived
+        assert aqm.stats.aqm_drops == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Codel(0, us(100))
+        with pytest.raises(ValueError):
+            Codel(us(10), 0)
+
+    def test_reset(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(100))
+        feed(aqm, now=us(10), sojourn=us(50))
+        feed(aqm, now=us(150), sojourn=us(50))
+        aqm.reset()
+        assert aqm.stats.marks == 0
+        packet, _ = feed(aqm, now=us(200), sojourn=us(50))
+        assert not packet.ce_marked  # state machine restarted
+
+
+class TestTcn:
+    def test_instantaneous_marking(self):
+        aqm = Tcn(us(150))
+        packet, _ = feed(aqm, now=0.0, sojourn=us(151))
+        assert packet.ce_marked
+
+    def test_no_mark_at_threshold(self):
+        aqm = Tcn(us(150))
+        packet, _ = feed(aqm, now=0.0, sojourn=us(150))
+        assert not packet.ce_marked
+
+    def test_stateless_across_packets(self):
+        aqm = Tcn(us(150))
+        feed(aqm, now=0.0, sojourn=us(200))
+        packet, _ = feed(aqm, now=us(1), sojourn=us(100))
+        assert not packet.ce_marked
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            Tcn(0)
+
+
+class TestBurstToleranceContrast:
+    """The paper's core qualitative claims, as unit-level contrasts."""
+
+    def test_ecn_sharp_marks_burst_codel_does_not(self):
+        codel = Codel(target_seconds=us(10), interval_seconds=us(240))
+        sharp = EcnSharp(EcnSharpConfig(us(200), us(10), us(240)))
+        burst_sojourn = us(400)
+        codel_packet, _ = feed(codel, now=us(5), sojourn=burst_sojourn)
+        sharp_packet, _ = feed(sharp, now=us(5), sojourn=burst_sojourn)
+        assert sharp_packet.ce_marked  # instantaneous component reacts now
+        assert not codel_packet.ce_marked  # CoDel waits a full interval
+
+    def test_ecn_sharp_and_tcn_agree_on_instantaneous(self):
+        tcn = Tcn(us(200))
+        sharp = EcnSharp(EcnSharpConfig(us(200), us(10), us(240)))
+        for sojourn in (us(100), us(250), us(190), us(500)):
+            tcn_packet, _ = feed(tcn, now=us(5), sojourn=sojourn)
+            sharp_packet, _ = feed(sharp, now=us(5), sojourn=sojourn)
+            if sojourn > us(200):
+                assert tcn_packet.ce_marked == sharp_packet.ce_marked is True
+
+    def test_ecn_sharp_removes_standing_queue_tcn_tolerates(self):
+        """A sojourn plateau at 120us (< both instantaneous thresholds):
+        TCN never marks; ECN# eventually does."""
+        tcn = Tcn(us(200))
+        sharp = EcnSharp(EcnSharpConfig(us(200), us(10), us(240)))
+        tcn_marks = sharp_marks = 0
+        t = 0.0
+        for _ in range(1_000):
+            t += us(2)
+            tcn_packet, _ = feed(tcn, now=t, sojourn=us(120))
+            sharp_packet, _ = feed(sharp, now=t, sojourn=us(120))
+            tcn_marks += tcn_packet.ce_marked
+            sharp_marks += sharp_packet.ce_marked
+        assert tcn_marks == 0
+        assert sharp_marks >= 3

@@ -1,0 +1,127 @@
+"""Unit tests for DCTCP-RED variants (queue-length, sojourn, probabilistic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.red import DctcpRed, ProbabilisticRed, SojournRed
+from repro.sim.packet import Ecn
+from repro.sim.units import us
+
+from conftest import StampedPacket, make_packet
+
+
+class TestDctcpRed:
+    def test_below_threshold_no_mark(self):
+        aqm = DctcpRed(threshold_bytes=10_000)
+        packet = make_packet()
+        assert aqm.on_enqueue(packet, now=0.0, queue_bytes=9_999)
+        assert not packet.ce_marked
+
+    def test_at_threshold_marks(self):
+        aqm = DctcpRed(threshold_bytes=10_000)
+        packet = make_packet()
+        assert aqm.on_enqueue(packet, now=0.0, queue_bytes=10_000)
+        assert packet.ce_marked
+        assert aqm.stats.instant_marks == 1
+
+    def test_cutoff_marks_every_packet_above(self):
+        aqm = DctcpRed(threshold_bytes=1_000)
+        packets = [make_packet(seq=i) for i in range(5)]
+        for packet in packets:
+            aqm.on_enqueue(packet, now=0.0, queue_bytes=5_000)
+        assert all(p.ce_marked for p in packets)
+
+    def test_not_ect_dropped_instead(self):
+        aqm = DctcpRed(threshold_bytes=1_000)
+        packet = make_packet(ecn=Ecn.NOT_ECT)
+        assert not aqm.on_enqueue(packet, now=0.0, queue_bytes=5_000)
+        assert aqm.stats.aqm_drops == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DctcpRed(0)
+
+    def test_reset_clears_stats(self):
+        aqm = DctcpRed(1_000)
+        aqm.on_enqueue(make_packet(), 0.0, 5_000)
+        aqm.reset()
+        assert aqm.stats.marks == 0
+
+
+class TestSojournRed:
+    def test_marks_above_threshold(self):
+        aqm = SojournRed(us(100))
+        packet = StampedPacket(sojourn=us(150))
+        assert aqm.on_dequeue(packet, now=1.0)
+        assert packet.ce_marked
+
+    def test_no_mark_at_or_below(self):
+        aqm = SojournRed(us(100))
+        packet = StampedPacket(sojourn=us(100))
+        aqm.on_dequeue(packet, now=1.0)
+        assert not packet.ce_marked
+
+    def test_equivalent_to_queue_length_through_equation_2(self):
+        # K = 250KB at 10G <=> T = 204.8us: same marking decision for a
+        # packet that waited behind exactly K bytes.
+        from repro.experiments.schemes import bytes_to_sojourn
+        from repro.sim.units import gbps, kb
+
+        threshold = bytes_to_sojourn(kb(250), gbps(10))
+        aqm = SojournRed(threshold)
+        waited_behind_k = StampedPacket(sojourn=kb(250) * 8 / gbps(10) * 1.01)
+        aqm.on_dequeue(waited_behind_k, now=0.0)
+        assert waited_behind_k.ce_marked
+
+
+class TestProbabilisticRed:
+    def test_probability_ramp(self):
+        aqm = ProbabilisticRed(kmin_bytes=1_000, kmax_bytes=3_000, pmax=1.0)
+        assert aqm.marking_probability(999) == 0.0
+        assert aqm.marking_probability(2_000) == pytest.approx(0.5)
+        assert aqm.marking_probability(3_000) == 1.0
+        assert aqm.marking_probability(10_000) == 1.0
+
+    def test_pmax_scales_ramp(self):
+        aqm = ProbabilisticRed(1_000, 3_000, pmax=0.4)
+        assert aqm.marking_probability(2_000) == pytest.approx(0.2)
+
+    def test_always_marks_above_kmax(self):
+        aqm = ProbabilisticRed(1_000, 2_000, seed=1)
+        packets = [make_packet(seq=i) for i in range(20)]
+        for packet in packets:
+            aqm.on_enqueue(packet, 0.0, 5_000)
+        assert all(p.ce_marked for p in packets)
+
+    def test_never_marks_below_kmin(self):
+        aqm = ProbabilisticRed(1_000, 2_000, seed=1)
+        packets = [make_packet(seq=i) for i in range(20)]
+        for packet in packets:
+            aqm.on_enqueue(packet, 0.0, 500)
+        assert not any(p.ce_marked for p in packets)
+
+    def test_marking_rate_matches_probability(self):
+        aqm = ProbabilisticRed(1_000, 3_000, seed=42)
+        marked = 0
+        for index in range(4_000):
+            packet = make_packet(seq=index)
+            aqm.on_enqueue(packet, 0.0, 2_000)  # p = 0.5
+            marked += packet.ce_marked
+        assert marked / 4_000 == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProbabilisticRed(2_000, 1_000)
+        with pytest.raises(ValueError):
+            ProbabilisticRed(1_000, 2_000, pmax=0.0)
+        with pytest.raises(ValueError):
+            ProbabilisticRed(1_000, 2_000, pmax=1.5)
+
+    @given(queue=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50)
+    def test_probability_is_monotone_and_bounded(self, queue):
+        aqm = ProbabilisticRed(5_000, 50_000)
+        probability = aqm.marking_probability(queue)
+        assert 0.0 <= probability <= 1.0
+        assert aqm.marking_probability(queue + 1_000) >= probability

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(["run", "fig5", "--seed", "9"])
+        assert args.command == "run"
+        assert args.experiment == "fig5"
+        assert args.seed == 9
+        assert not args.full
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_every_paper_artifact_is_registered(self):
+        expected = {
+            "table1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "completed in" in out
+
+    def test_run_table1_with_seed(self, capsys):
+        assert main(["run", "table1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=3" in out
+        assert "Networking Stack" in out

@@ -1,0 +1,238 @@
+"""Tests for the match-action pipeline and the ECN# P4 program.
+
+The crown jewel is the differential test: the pipeline implementation of
+Algorithm 1 (integer ticks, single-access registers, lookup-table sqrt) must
+agree with the pure-Python reference ``repro.core.EcnSharp`` on long random
+traces, and with a hand-written integer-exact reference everywhere.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecn_sharp import EcnSharp, EcnSharpConfig
+from repro.dataplane.ecn_sharp_p4 import SQRT_TABLE_SIZE, EcnSharpPipeline
+from repro.dataplane.pipeline import MatchActionTable, Pipeline
+from repro.dataplane.registers import RegisterFile
+from repro.dataplane.timestamp import TICK_SECONDS
+
+from conftest import StampedPacket
+
+
+class TestMatchActionTable:
+    def test_default_action_only(self):
+        seen = []
+        table = MatchActionTable("t", default_action=lambda meta: seen.append(meta["x"]))
+        table.apply({"x": 1})
+        assert seen == [1]
+        assert table.entry_count == 0
+
+    def test_match_selects_action(self):
+        table = MatchActionTable(
+            "t",
+            match=lambda meta: meta["key"],
+            actions={
+                "a": lambda meta: meta.update(out="A"),
+                "b": lambda meta: meta.update(out="B"),
+            },
+            default_action=lambda meta: meta.update(out="default"),
+        )
+        for key, expected in (("a", "A"), ("b", "B"), ("zz", "default")):
+            meta = {"key": key}
+            table.apply(meta)
+            assert meta["out"] == expected
+
+    def test_actions_without_match_rejected(self):
+        with pytest.raises(ValueError):
+            MatchActionTable("t", actions={"a": lambda meta: None})
+
+    def test_hit_count(self):
+        table = MatchActionTable("t", default_action=lambda meta: None)
+        for _ in range(3):
+            table.apply({})
+        assert table.hit_count == 3
+
+
+class TestPipeline:
+    def test_tables_run_in_order(self):
+        pipeline = Pipeline()
+        pipeline.add_table(MatchActionTable("a", default_action=lambda m: m.update(x=1)))
+        pipeline.add_table(
+            MatchActionTable("b", default_action=lambda m: m.update(y=m["x"] + 1))
+        )
+        meta = pipeline.process({})
+        assert meta == {"x": 1, "y": 2}
+
+    def test_each_process_is_one_register_pass(self):
+        pipeline = Pipeline()
+        array = pipeline.registers.declare("r", 1)
+        pipeline.add_table(
+            MatchActionTable(
+                "t", default_action=lambda m: array.read_modify_write(0, lambda o: (o + 1, o))
+            )
+        )
+        pipeline.process({})
+        pipeline.process({})
+        assert array.peek(0) == 2
+
+
+class TestEcnSharpPipelineBasics:
+    def make(self, ins=195, pst=10, interval=234):
+        return EcnSharpPipeline(ins, pst, interval)
+
+    def test_resource_budget_matches_paper(self):
+        report = self.make().resource_report()
+        assert report["tables"] == 7
+        assert report["register_arrays_32"] == 5
+        assert report["register_arrays_64"] == 2
+        assert report["table_entries"] < 10  # "less than 10 entries"
+
+    def test_instantaneous_mark(self):
+        pipeline = self.make()
+        meta = pipeline.process_packet(10_000, sojourn_ticks=300)
+        assert meta["mark"] and meta["mark_kind"] == "instant"
+
+    def test_no_mark_when_quiet(self):
+        pipeline = self.make()
+        meta = pipeline.process_packet(10_000, sojourn_ticks=2)
+        assert not meta["mark"]
+
+    def test_persistent_mark_after_interval(self):
+        pipeline = self.make()
+        t_ns = 1_000_000
+        pipeline.process_packet(t_ns, sojourn_ticks=50)
+        t_ns += 240 * 1024  # > interval later
+        meta = pipeline.process_packet(t_ns, sojourn_ticks=50)
+        assert meta["mark"] and meta["mark_kind"] == "persistent"
+
+    def test_per_port_state_isolated(self):
+        pipeline = self.make()
+        t_ns = 1_000_000
+        pipeline.process_packet(t_ns, sojourn_ticks=50, port=0)
+        meta = pipeline.process_packet(t_ns + 240 * 1024, sojourn_ticks=50, port=1)
+        assert not meta["mark"]  # port 1 has no history
+
+    def test_mark_counter_register(self):
+        pipeline = self.make()
+        pipeline.process_packet(10_000, sojourn_ticks=300, port=3)
+        pipeline.process_packet(20_000, sojourn_ticks=300, port=3)
+        assert pipeline.reg_mark_counter.peek(3) == 2
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            EcnSharpPipeline(0, 10, 240)
+
+    def test_sqrt_lookup_values(self):
+        pipeline = self.make(interval=240)
+        assert pipeline._delta_for(1) == 240
+        assert pipeline._delta_for(4) == 120
+        assert pipeline._delta_for(SQRT_TABLE_SIZE + 50) == pipeline._delta_for(
+            SQRT_TABLE_SIZE
+        )
+
+
+def _int_reference(ins, pst, interval, trace):
+    """Hand-written Algorithm 1 over integer ticks: the oracle."""
+    first_above = None
+    marking_state = False
+    marking_count = 0
+    marking_next = 0.0
+    decisions = []
+    for now, sojourn in trace:
+        if sojourn < pst:
+            first_above = None
+            detected = False
+        elif first_above is None:
+            first_above = now
+            detected = False
+        else:
+            detected = now > first_above + interval
+        if marking_state:
+            if not detected:
+                marking_state = False
+                persistent = False
+            elif now > marking_next:
+                marking_count += 1
+                marking_next += max(1, int(round(interval / math.sqrt(marking_count))))
+                persistent = True
+            else:
+                persistent = False
+        elif detected:
+            marking_state = True
+            marking_count = 1
+            marking_next = now + interval
+            persistent = True
+        else:
+            persistent = False
+        decisions.append(sojourn > ins or persistent)
+    return decisions
+
+
+def _random_trace(seed, length=3000, max_gap_ticks=40):
+    rng = random.Random(seed)
+    trace = []
+    now = 1000
+    for _ in range(length):
+        now += rng.randint(1, max_gap_ticks)
+        sojourn = rng.choice((0, 1, 5, 9, 10, 11, 30, 80, 150, 195, 196, 250))
+        trace.append((now, sojourn))
+    return trace
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pipeline_matches_integer_oracle(self, seed):
+        ins, pst, interval = 195, 10, 234
+        trace = _random_trace(seed)
+        pipeline = EcnSharpPipeline(ins, pst, interval)
+        pipeline_decisions = [
+            bool(pipeline.process_packet(now * 1024, sojourn)["mark"])
+            for now, sojourn in trace
+        ]
+        oracle = _int_reference(ins, pst, interval, trace)
+        assert pipeline_decisions == oracle
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pipeline_matches_float_reference_closely(self, seed):
+        """The production reference uses float seconds; agreement must be
+        near-total (rounding of the sqrt lookup can shift a mark by one
+        packet occasionally)."""
+        ins, pst, interval = 195, 10, 234
+        trace = _random_trace(seed, length=5000)
+        pipeline = EcnSharpPipeline(ins, pst, interval)
+        reference = EcnSharp(
+            EcnSharpConfig(
+                ins_target=float(ins), pst_target=float(pst), pst_interval=float(interval)
+            )
+        )
+        agree = 0
+        for now, sojourn in trace:
+            meta = pipeline.process_packet(now * 1024, sojourn)
+            packet = StampedPacket(sojourn=float(sojourn))
+            reference.on_dequeue(packet, float(now))
+            agree += int(bool(meta["mark"]) == packet.ce_marked)
+        assert agree / len(trace) > 0.995
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_agreement_any_seed(self, seed):
+        ins, pst, interval = 100, 5, 120
+        trace = _random_trace(seed, length=500, max_gap_ticks=20)
+        pipeline = EcnSharpPipeline(ins, pst, interval)
+        pipeline_decisions = [
+            bool(pipeline.process_packet(now * 1024, sojourn)["mark"])
+            for now, sojourn in trace
+        ]
+        assert pipeline_decisions == _int_reference(ins, pst, interval, trace)
+
+    def test_line_rate_trace_no_access_violations(self):
+        """A back-to-back 10G packet trace (one packet per ~1.2us) runs the
+        whole program without tripping the register discipline."""
+        pipeline = EcnSharpPipeline(195, 10, 234)
+        t_ns = 0
+        for index in range(10_000):
+            t_ns += 1200
+            pipeline.process_packet(t_ns, sojourn_ticks=index % 300)

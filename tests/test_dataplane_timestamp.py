@@ -1,0 +1,155 @@
+"""Unit tests for Algorithm 2: the 32-bit microsecond clock emulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.registers import RegisterFile
+from repro.dataplane.timestamp import EPOCH_TICKS, TICK_SECONDS, TimestampEmulator
+
+NS_PER_EPOCH = 2**32  # the lower-32-bit nanosecond counter's period
+
+
+def make_clock(verbatim=False):
+    registers = RegisterFile()
+    clock = TimestampEmulator(registers, ports=4, verbatim_wraparound=verbatim)
+    return clock, registers
+
+
+def read(clock, registers, t_ns, port=0):
+    registers.begin_pass()
+    return clock.current_time(t_ns, port)
+
+
+class TestBasicConversion:
+    def test_tick_is_1024ns(self):
+        assert TICK_SECONDS == pytest.approx(1.024e-6)
+
+    def test_microsecond_granularity(self):
+        clock, registers = make_clock()
+        assert read(clock, registers, 0) == 0
+        assert read(clock, registers, 1024) == 1
+        assert read(clock, registers, 10 * 1024) == 10
+
+    def test_sub_tick_resolution_floor(self):
+        clock, registers = make_clock()
+        assert read(clock, registers, 1023) == 0
+
+    def test_negative_time_rejected(self):
+        clock, registers = make_clock()
+        registers.begin_pass()
+        with pytest.raises(ValueError):
+            clock.current_time(-1)
+
+    def test_helpers_roundtrip(self):
+        assert TimestampEmulator.ticks_to_seconds(1000) == pytest.approx(1.024e-3)
+        # float division can land a hair under the integer; floor semantics.
+        assert TimestampEmulator.seconds_to_ticks(1.024e-3) in (999, 1000)
+        assert TimestampEmulator.seconds_to_ticks(
+            TimestampEmulator.ticks_to_seconds(12345)
+        ) in (12344, 12345)
+
+
+class TestWraparound:
+    def test_crosses_4_3s_boundary(self):
+        """The raw lower-32-bit approach breaks here; Algorithm 2 must not."""
+        clock, registers = make_clock()
+        before = read(clock, registers, NS_PER_EPOCH - 2048)
+        after = read(clock, registers, NS_PER_EPOCH + 2048)
+        assert after > before
+        delta_seconds = (after - before) * TICK_SECONDS
+        assert delta_seconds == pytest.approx(4096e-9, abs=2e-6)
+
+    def test_multiple_epochs(self):
+        clock, registers = make_clock()
+        times_ns = [int(k * 0.5 * NS_PER_EPOCH) for k in range(1, 20)]
+        readings = [read(clock, registers, t) for t in times_ns]
+        assert readings == sorted(readings)
+        # Absolute accuracy across ~9 wraps: within one tick each.
+        for t_ns, ticks in zip(times_ns, readings):
+            assert ticks * 1024 == pytest.approx(t_ns, abs=1024)
+
+    def test_per_port_independent_epochs(self):
+        """Each port counts epochs since its own first packet, so absolute
+        readings differ across ports -- but every comparison ECN# makes is
+        per-port, so only *relative* per-port consistency matters."""
+        clock, registers = make_clock()
+        read(clock, registers, NS_PER_EPOCH + 5000, port=0)  # port 0 active early
+        first = read(clock, registers, NS_PER_EPOCH + 6000, port=1)
+        second = read(clock, registers, NS_PER_EPOCH + 6000 + 2048_000, port=1)
+        assert (second - first) * 1024 == pytest.approx(2048_000, abs=2048)
+        # And port 0's own deltas are unaffected by port 1's activity.
+        base = read(clock, registers, NS_PER_EPOCH + 7000, port=0)
+        third = read(clock, registers, NS_PER_EPOCH + 7000 + 4096_000, port=0)
+        assert (third - base) * 1024 == pytest.approx(4096_000, abs=2048)
+
+    def test_requires_frequent_packets(self):
+        """A silent gap longer than one epoch is undetectable -- the clock
+        loses an epoch.  Documents the line-rate assumption."""
+        clock, registers = make_clock()
+        read(clock, registers, 1000)
+        # Next packet arrives > 2 epochs later: counter wrapped twice but
+        # only one wrap can be observed.
+        ticks = read(clock, registers, 2 * NS_PER_EPOCH + 1000)
+        assert ticks * 1024 < 2 * NS_PER_EPOCH  # one epoch lost, known limit
+
+
+class TestVerbatimHazard:
+    def test_same_tick_packets_spurious_wrap_with_verbatim_leq(self):
+        """The paper's pseudocode uses `<=` for wrap detection: two packets
+        inside one 1.024us tick then trigger a bogus epoch increment,
+        jumping the clock ~4.3s forward.  The corrected `<` does not."""
+        verbatim, registers_v = make_clock(verbatim=True)
+        first = read(verbatim, registers_v, 10_000)
+        second = read(verbatim, registers_v, 10_100)  # same tick!
+        assert second - first >= EPOCH_TICKS  # the spurious 4.3s jump
+
+        corrected, registers_c = make_clock(verbatim=False)
+        first = read(corrected, registers_c, 10_000)
+        second = read(corrected, registers_c, 10_100)
+        assert second == first  # same tick, same reading
+
+    @given(
+        gaps_ns=st.lists(
+            st.integers(min_value=100, max_value=50_000_000),
+            min_size=5,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_corrected_clock_monotone_under_any_line_rate_trace(self, gaps_ns):
+        clock, registers = make_clock()
+        t_ns = 0
+        previous = -1
+        for gap in gaps_ns:
+            t_ns += gap
+            ticks = read(clock, registers, t_ns)
+            assert ticks >= previous
+            previous = ticks
+
+    @given(
+        gaps_ns=st.lists(
+            st.integers(min_value=100, max_value=50_000_000),
+            min_size=5,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_corrected_clock_accurate_within_a_tick(self, gaps_ns):
+        clock, registers = make_clock()
+        t_ns = 0
+        for gap in gaps_ns:
+            t_ns += gap
+            ticks = read(clock, registers, t_ns)
+            assert ticks * 1024 == pytest.approx(t_ns, abs=1024)
+
+
+class TestAccessDiscipline:
+    def test_two_reads_without_pass_reset_rejected(self):
+        from repro.dataplane.registers import RegisterAccessViolation
+
+        clock, registers = make_clock()
+        registers.begin_pass()
+        clock.current_time(1000)
+        with pytest.raises(RegisterAccessViolation):
+            clock.current_time(2000)  # same pass: ts_low touched twice

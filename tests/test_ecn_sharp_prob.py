@@ -1,0 +1,107 @@
+"""Unit tests for the Section 3.5 extension: probabilistic ECN#."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecn_sharp import EcnSharpConfig
+from repro.core.ecn_sharp_prob import EcnSharpProbabilistic, ProbabilisticConfig
+from repro.sim.units import us
+
+from conftest import StampedPacket
+
+
+def make_aqm(ins_min=us(50), ins_max=us(150), pmax=1.0, cutoff=us(220), pst=us(10),
+             interval=us(240), seed=1):
+    return EcnSharpProbabilistic(
+        EcnSharpConfig(ins_target=cutoff, pst_target=pst, pst_interval=interval),
+        ProbabilisticConfig(ins_min=ins_min, ins_max=ins_max, pmax=pmax),
+        seed=seed,
+    )
+
+
+def feed(aqm, now, sojourn):
+    packet = StampedPacket(sojourn=sojourn)
+    aqm.on_dequeue(packet, now)
+    return packet
+
+
+class TestRampConfig:
+    def test_invalid_ramp(self):
+        with pytest.raises(ValueError):
+            ProbabilisticConfig(ins_min=0, ins_max=us(100))
+        with pytest.raises(ValueError):
+            ProbabilisticConfig(ins_min=us(100), ins_max=us(50))
+        with pytest.raises(ValueError):
+            ProbabilisticConfig(ins_min=us(50), ins_max=us(100), pmax=0.0)
+
+    def test_ramp_above_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            make_aqm(ins_min=us(100), ins_max=us(300), cutoff=us(220))
+
+
+class TestProbabilityRamp:
+    def test_zero_below_min(self):
+        aqm = make_aqm()
+        assert aqm.marking_probability(us(49)) == 0.0
+
+    def test_linear_in_between(self):
+        aqm = make_aqm(pmax=0.8)
+        assert aqm.marking_probability(us(100)) == pytest.approx(0.4)
+
+    def test_pmax_at_saturation(self):
+        aqm = make_aqm(pmax=0.3)
+        assert aqm.marking_probability(us(150)) == pytest.approx(0.3)
+        assert aqm.marking_probability(us(200)) == pytest.approx(0.3)
+
+    def test_one_above_hard_cutoff(self):
+        aqm = make_aqm(pmax=0.3, cutoff=us(220))
+        assert aqm.marking_probability(us(221)) == 1.0
+
+    @given(sojourn_us=st.floats(min_value=0, max_value=500))
+    @settings(max_examples=60)
+    def test_probability_monotone_nondecreasing(self, sojourn_us):
+        aqm = make_aqm(pmax=0.5)
+        p1 = aqm.marking_probability(us(sojourn_us))
+        p2 = aqm.marking_probability(us(sojourn_us) + us(1))
+        assert 0.0 <= p1 <= 1.0
+        assert p2 >= p1 - 1e-12
+
+
+class TestMarkingBehaviour:
+    def test_empirical_rate_matches_ramp(self):
+        aqm = make_aqm(pmax=1.0, seed=3)
+        marked = 0
+        for index in range(4000):
+            packet = feed(aqm, now=us(index), sojourn=us(100))  # p = 0.5
+            marked += packet.ce_marked
+        assert marked / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_hard_cutoff_always_marks(self):
+        aqm = make_aqm()
+        for index in range(50):
+            packet = feed(aqm, now=us(index), sojourn=us(250))
+            assert packet.ce_marked
+
+    def test_persistent_component_still_works(self):
+        """The Algorithm 1 part is unchanged: a sub-ramp sojourn plateau
+        still triggers conservative persistent marks."""
+        aqm = make_aqm(ins_min=us(50), ins_max=us(150), pst=us(10))
+        marks = 0
+        t = 0.0
+        for _ in range(2000):
+            t += us(2)
+            packet = feed(aqm, now=t, sojourn=us(30))  # below the ramp
+            marks += packet.ce_marked
+        assert marks >= 2
+        assert aqm.stats.persistent_marks == marks
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            aqm = make_aqm(seed=seed)
+            return [
+                feed(aqm, now=us(i), sojourn=us(100)).ce_marked for i in range(500)
+            ]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

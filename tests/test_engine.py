@@ -1,0 +1,217 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self, sim):
+        order = []
+        for label in "abcde":
+            sim.schedule(0.5, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(0.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.25]
+        assert sim.now == 0.25
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.1, lambda: order.append("nested"))
+
+        sim.schedule(0.1, first)
+        sim.schedule(0.5, lambda: order.append("last"))
+        sim.run()
+        assert order == ["first", "nested", "last"]
+
+    def test_callback_args_passed(self, sim):
+        seen = []
+        sim.schedule(0.1, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_zero_delay_runs(self, sim):
+        seen = []
+        sim.schedule(0.0, seen.append, 1)
+        sim.run()
+        assert seen == [1]
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(0.1, seen.append, "early")
+        sim.schedule(0.9, seen.append, "late")
+        sim.run(until=0.5)
+        assert seen == ["early"]
+        assert sim.now == 0.5  # clock advanced to the horizon
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_until_inclusive_of_equal_time(self, sim):
+        seen = []
+        sim.schedule(0.5, seen.append, "edge")
+        sim.run(until=0.5)
+        assert seen == ["edge"]
+
+    def test_max_events_bounds_dispatch(self, sim):
+        seen = []
+        for index in range(10):
+            sim.schedule(0.1 * (index + 1), seen.append, index)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_run_until_idle_drains(self, sim):
+        count = []
+
+        def chain(n):
+            count.append(n)
+            if n > 0:
+                sim.schedule(0.01, chain, n - 1)
+
+        sim.schedule(0.0, chain, 4)
+        sim.run_until_idle()
+        assert count == [4, 3, 2, 1, 0]
+        assert sim.pending_events == 0
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.1, nested)
+        sim.run()
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(0.2)
+        sim.run()
+        assert fired == [pytest.approx(0.2)]
+
+    def test_cancel_suppresses(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.restart(0.2)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_restart_supersedes(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(0.2)
+        timer.restart(0.5)
+        sim.run()
+        assert fired == [pytest.approx(0.5)]
+
+    def test_restart_after_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(0.1)
+        sim.run()
+        timer.restart(0.1)
+        sim.run()
+        assert fired == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_armed_and_expiry_tracking(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.restart(0.3)
+        assert timer.armed
+        assert timer.expiry == pytest.approx(0.3)
+        sim.run()
+        assert not timer.armed
+        assert timer.expiry == float("inf")
+
+    def test_cancel_then_restart(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(0.1)
+        timer.cancel()
+        timer.restart(0.4)
+        sim.run()
+        assert fired == [pytest.approx(0.4)]
+
+
+class TestDeterminism:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dispatch_order_is_sorted_and_stable(self, delays):
+        sim = Simulator()
+        seen = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda i=index, d=delay: seen.append((d, i)))
+        sim.run()
+        assert seen == sorted(seen)  # by (time, insertion order)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_identical_runs_agree(self, delays):
+        def run_once():
+            sim = Simulator()
+            trace = []
+            for index, delay in enumerate(delays):
+                sim.schedule(delay, lambda i=index: trace.append((sim.now, i)))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

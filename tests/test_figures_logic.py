@@ -1,0 +1,185 @@
+"""Unit tests for figure-module result dataclasses (pure logic, no sims)."""
+
+import pytest
+
+from repro.experiments.fct import FctSummary, FlowRecord
+from repro.experiments.figures.fig2 import Fig2Result
+from repro.experiments.figures.fig3 import Fig3Result
+from repro.experiments.figures.fig6_fig7 import FctVsLoadResult
+from repro.experiments.figures.fig8 import Fig8Result
+from repro.experiments.figures.fig10 import MicroscopicRun, _best_window_average
+from repro.experiments.figures.fig11 import Fig11Result
+from repro.experiments.figures.fig13 import Fig13Result, SchedulerRun
+
+
+def summary(overall=1e-3, short=5e-4, short99=1e-3, large=1e-2):
+    records = []
+    return FctSummary(
+        n_flows=10,
+        overall_avg=overall,
+        overall_p99=overall * 3,
+        short_avg=short,
+        short_p99=short99,
+        large_avg=large,
+        n_short=5,
+        n_large=2,
+    )
+
+
+class TestFig2Result:
+    def test_normalized_to_first_threshold(self):
+        result = Fig2Result(
+            thresholds_kb=(50, 250),
+            summaries={50: summary(overall=1e-3), 250: summary(overall=2e-3)},
+            load=0.5,
+            variation=3.0,
+        )
+        norm = result.normalized("overall_avg")
+        assert norm[50] == pytest.approx(1.0)
+        assert norm[250] == pytest.approx(2.0)
+
+    def test_none_fields_propagate(self):
+        none_summary = FctSummary(
+            n_flows=1, overall_avg=1e-3, overall_p99=1e-3, short_avg=None,
+            short_p99=None, large_avg=None, n_short=0, n_large=0,
+        )
+        result = Fig2Result(
+            thresholds_kb=(50,), summaries={50: none_summary}, load=0.5, variation=3.0
+        )
+        assert result.normalized("large_avg")[50] is None
+
+
+class TestFig3Result:
+    def make(self):
+        return Fig3Result(
+            variations=(2.0,),
+            avg_threshold={2.0: summary(large=1.2e-2, short99=8e-4)},
+            tail_threshold={2.0: summary(large=1.0e-2, short99=1.6e-3)},
+            thresholds_us={2.0: (100.0, 150.0)},
+            load=0.5,
+        )
+
+    def test_gaps(self):
+        result = self.make()
+        assert result.large_flow_gap(2.0) == pytest.approx(1.2)
+        assert result.short_tail_gap(2.0) == pytest.approx(2.0)
+
+
+class TestFctVsLoadResult:
+    def test_normalization_and_best_gain(self):
+        result = FctVsLoadResult(
+            workload_name="web-search",
+            loads=(0.5,),
+            schemes=("DCTCP-RED-Tail", "ECN#"),
+            summaries={
+                0.5: {
+                    "DCTCP-RED-Tail": summary(short=1e-3),
+                    "ECN#": summary(short=8e-4),
+                }
+            },
+        )
+        assert result.normalized(0.5, "ECN#").short_avg == pytest.approx(0.8)
+        assert result.best_short_avg_gain("ECN#") == pytest.approx(0.2)
+
+
+class TestFig8Result:
+    def test_nfct(self):
+        result = Fig8Result(
+            variations=(3.0,),
+            loads=(0.5,),
+            summaries={
+                3.0: {
+                    0.5: {
+                        "DCTCP-RED-Tail": summary(short99=2e-3),
+                        "ECN#": summary(short99=1e-3),
+                    }
+                }
+            },
+        )
+        assert result.nfct(3.0, 0.5, "short_p99") == pytest.approx(0.5)
+
+
+class TestFig10Helpers:
+    def test_best_window_average_finds_floor(self):
+        # 10ms of high queue then 10ms of low queue, 1ms samples.
+        samples = [(t * 1e-3, 100) for t in range(10)]
+        samples += [(1e-2 + t * 1e-3, 10) for t in range(10)]
+        floor = _best_window_average(samples, window=5e-3)
+        assert floor == pytest.approx(10, abs=1)
+
+    def test_best_window_empty(self):
+        assert _best_window_average([], window=5e-3) == 0.0
+
+    def test_short_trace_falls_back_to_mean(self):
+        samples = [(0.0, 10), (1e-4, 20)]
+        assert _best_window_average(samples, window=5e-3) == pytest.approx(15)
+
+
+def micro_run(name, fcts, drops=0):
+    return MicroscopicRun(
+        scheme=name,
+        samples=([], []),
+        standing_queue_pkts=0.0,
+        floor_queue_pkts=0.0,
+        peak_queue_pkts=0,
+        drops=drops,
+        marks=0,
+        query_fcts=fcts,
+        query_timeouts=0,
+        queries_completed=len(fcts),
+    )
+
+
+class TestFig11Result:
+    def test_first_loss_onset(self):
+        result = Fig11Result(
+            fanouts=(50, 100),
+            schemes=("CoDel",),
+            runs={
+                50: {"CoDel": micro_run("CoDel", [1e-3], drops=0)},
+                100: {"CoDel": micro_run("CoDel", [1e-3], drops=5)},
+            },
+        )
+        assert result.first_loss_fanout("CoDel") == 100
+
+    def test_no_loss_returns_none(self):
+        result = Fig11Result(
+            fanouts=(50,),
+            schemes=("ECN#",),
+            runs={50: {"ECN#": micro_run("ECN#", [1e-3])}},
+        )
+        assert result.first_loss_fanout("ECN#") is None
+
+    def test_fct_statistics(self):
+        result = Fig11Result(
+            fanouts=(50,),
+            schemes=("ECN#",),
+            runs={50: {"ECN#": micro_run("ECN#", [1e-3, 3e-3])}},
+        )
+        assert result.avg_query_fct(50, "ECN#") == pytest.approx(2e-3)
+        assert result.p99_query_fct(50, "ECN#") > 2.9e-3
+
+
+class TestFig13Result:
+    def test_share_ratios_and_fct_ratio(self):
+        run_sharp = SchedulerRun(
+            scheme="ECN#",
+            goodputs=[[9.6e9, 0, 0], [6.4e9, 3.2e9, 0], [4.8e9, 2.4e9, 2.4e9]],
+            probe_fcts=[8e-4],
+        )
+        run_tcn = SchedulerRun(
+            scheme="TCN",
+            goodputs=[[9.6e9, 0, 0], [6.4e9, 3.2e9, 0], [4.8e9, 2.4e9, 2.4e9]],
+            probe_fcts=[1e-3],
+        )
+        result = Fig13Result(runs={"ECN#": run_sharp, "TCN": run_tcn})
+        assert run_sharp.phase3_share_ratios() == (
+            pytest.approx(2.0),
+            pytest.approx(2.0),
+        )
+        assert result.probe_fct_ratio() == pytest.approx(0.8)
+
+    def test_missing_probe_data(self):
+        run = SchedulerRun(scheme="x", goodputs=[[0, 0, 0]] * 3, probe_fcts=[])
+        assert run.avg_probe_fct() is None
+        assert run.phase3_share_ratios() is None

@@ -1,0 +1,76 @@
+"""Odds and ends: example compilation, not-ECT handling, stats plumbing."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.core import Codel, EcnSharp, EcnSharpConfig, NullAqm, SojournRed
+from repro.core.base import MarkingStats
+from repro.sim.packet import Ecn
+from repro.sim.units import us
+
+from conftest import StampedPacket
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_at_least_seven_examples_ship(self):
+        assert len(EXAMPLES) >= 7
+
+
+class TestNotEctHandling:
+    """RFC 3168: marking decisions applied to not-ECT packets become drops."""
+
+    def test_ecn_sharp_drops_not_ect_on_instantaneous(self):
+        aqm = EcnSharp(EcnSharpConfig(us(200), us(10), us(240)))
+        packet = StampedPacket(sojourn=us(300), ecn=Ecn.NOT_ECT)
+        survived = aqm.on_dequeue(packet, now=us(5))
+        assert not survived
+        assert aqm.stats.aqm_drops == 1
+        assert aqm.stats.marks == 0
+
+    def test_ecn_sharp_drops_not_ect_on_persistent(self):
+        aqm = EcnSharp(EcnSharpConfig(us(200), us(10), us(240)))
+        aqm.on_dequeue(StampedPacket(sojourn=us(50)), now=us(5))
+        packet = StampedPacket(sojourn=us(50), ecn=Ecn.NOT_ECT)
+        survived = aqm.on_dequeue(packet, now=us(5) + us(241))
+        assert not survived
+
+    def test_sojourn_red_drops_not_ect(self):
+        aqm = SojournRed(us(100))
+        packet = StampedPacket(sojourn=us(200), ecn=Ecn.NOT_ECT)
+        assert not aqm.on_dequeue(packet, now=0.0)
+
+    def test_ect1_is_markable(self):
+        aqm = SojournRed(us(100))
+        packet = StampedPacket(sojourn=us(200), ecn=Ecn.ECT1)
+        assert aqm.on_dequeue(packet, now=0.0)
+        assert packet.ce_marked
+
+
+class TestStatsPlumbing:
+    def test_marking_stats_repr(self):
+        stats = MarkingStats()
+        stats.marks = 3
+        assert "marks=3" in repr(stats)
+
+    def test_null_aqm_counts_packets(self):
+        aqm = NullAqm()
+        aqm.on_enqueue(StampedPacket(sojourn=0.0), now=0.0, queue_bytes=0)
+        assert aqm.stats.packets_seen == 1
+        assert aqm.stats.marks == 0
+
+    def test_codel_reset_clears_control_law(self):
+        aqm = Codel(target_seconds=us(10), interval_seconds=us(100))
+        aqm.on_dequeue(StampedPacket(sojourn=us(50)), now=us(5))
+        aqm.on_dequeue(StampedPacket(sojourn=us(50)), now=us(150))
+        assert aqm.stats.marks >= 1
+        aqm.reset()
+        assert aqm.stats.marks == 0
+        assert not aqm._marking

@@ -1,0 +1,71 @@
+"""Unit tests for packets and ECN codepoints."""
+
+import pytest
+
+from repro.sim.packet import Ecn, Packet, PacketFactory
+
+from conftest import make_packet
+
+
+class TestEcnCodepoints:
+    def test_not_ect_is_not_capable(self):
+        assert not Ecn.is_ect(Ecn.NOT_ECT)
+
+    @pytest.mark.parametrize("codepoint", [Ecn.ECT0, Ecn.ECT1, Ecn.CE])
+    def test_capable_codepoints(self, codepoint):
+        assert Ecn.is_ect(codepoint)
+
+
+class TestPacket:
+    def test_defaults(self):
+        packet = make_packet()
+        assert packet.ecn == Ecn.ECT0
+        assert not packet.is_ack
+        assert not packet.ce_marked
+        assert not packet.retransmission
+
+    def test_mark_ce(self):
+        packet = make_packet()
+        packet.mark_ce()
+        assert packet.ce_marked
+        assert packet.ecn == Ecn.CE
+
+    def test_mark_ce_idempotent(self):
+        packet = make_packet()
+        packet.mark_ce()
+        packet.mark_ce()
+        assert packet.ce_marked
+
+    def test_mark_not_ect_rejected(self):
+        packet = make_packet(ecn=Ecn.NOT_ECT)
+        with pytest.raises(ValueError):
+            packet.mark_ce()
+
+    def test_sojourn_time(self):
+        packet = make_packet()
+        packet.enqueue_time = 1.0
+        assert packet.sojourn_time(1.0005) == pytest.approx(0.0005)
+
+    def test_sojourn_before_enqueue_rejected(self):
+        packet = make_packet()
+        with pytest.raises(ValueError):
+            packet.sojourn_time(1.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(flow_id=0, src="a", dst="b", seq=0, size=0)
+
+    def test_service_class_carried(self):
+        packet = make_packet(service=2)
+        assert packet.service == 2
+
+
+class TestPacketFactory:
+    def test_ids_are_unique_and_sequential(self):
+        factory = PacketFactory()
+        ids = [factory.next_flow_id() for _ in range(100)]
+        assert ids == list(range(100))
+
+    def test_independent_factories(self):
+        one, two = PacketFactory(), PacketFactory()
+        assert one.next_flow_id() == two.next_flow_id() == 0

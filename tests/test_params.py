@@ -1,0 +1,102 @@
+"""Unit tests for Equations 1-2 and the Section 3.4 rule of thumb."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    LAMBDA_DCTCP,
+    LAMBDA_ECN_TCP,
+    derive_ecn_sharp_params,
+    marking_threshold_bytes,
+    marking_threshold_seconds,
+)
+from repro.sim.units import gbps, us
+
+
+class TestEquation1:
+    def test_paper_example_250kb(self):
+        # lambda=1, C=10G, RTT=200us -> K = 250KB (the testbed tail value).
+        k = marking_threshold_bytes(LAMBDA_ECN_TCP, gbps(10), us(200))
+        assert k == pytest.approx(250_000, abs=2)
+
+    def test_dctcp_lambda_shrinks_threshold(self):
+        k_tcp = marking_threshold_bytes(LAMBDA_ECN_TCP, gbps(10), us(200))
+        k_dctcp = marking_threshold_bytes(LAMBDA_DCTCP, gbps(10), us(200))
+        assert k_dctcp == pytest.approx(k_tcp * 0.17, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            marking_threshold_bytes(0, gbps(10), us(200))
+        with pytest.raises(ValueError):
+            marking_threshold_bytes(1, -1, us(200))
+
+
+class TestEquation2:
+    def test_t_equals_k_over_c(self):
+        k = marking_threshold_bytes(1.0, gbps(10), us(200))
+        t = marking_threshold_seconds(1.0, us(200))
+        assert t == pytest.approx(k * 8 / gbps(10), rel=1e-4)
+
+    @given(
+        lam=st.floats(min_value=0.05, max_value=1.0),
+        rtt=st.floats(min_value=1e-6, max_value=1e-3),
+        capacity=st.floats(min_value=1e9, max_value=1e11),
+    )
+    @settings(max_examples=50)
+    def test_equations_consistent(self, lam, rtt, capacity):
+        k = marking_threshold_bytes(lam, capacity, rtt)
+        t = marking_threshold_seconds(lam, rtt)
+        # int() truncation of K quantizes at one byte = 8/capacity secs
+        assert k * 8 / capacity == pytest.approx(t, rel=0.01, abs=16 / capacity)
+
+
+class TestRuleOfThumb:
+    def test_derivation_from_samples(self):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(us(70), us(210), size=10_000)
+        params = derive_ecn_sharp_params(samples)
+        assert params.ins_target == pytest.approx(params.rtt_high_percentile)
+        assert params.pst_target == pytest.approx(params.rtt_avg)
+        assert params.pst_interval == pytest.approx(params.rtt_high_percentile)
+        assert params.ins_target > params.pst_target
+
+    def test_burst_scale_shrinks_interval(self):
+        samples = [us(100)] * 100
+        default = derive_ecn_sharp_params(samples)
+        bursty = derive_ecn_sharp_params(samples, burst_scale=0.5)
+        assert bursty.pst_interval == pytest.approx(default.pst_interval * 0.5)
+
+    def test_lambda_scales_targets(self):
+        samples = [us(100)] * 100
+        params = derive_ecn_sharp_params(samples, lam=0.5)
+        assert params.ins_target == pytest.approx(us(50))
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            derive_ecn_sharp_params([])
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ValueError):
+            derive_ecn_sharp_params([us(100), 0.0])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            derive_ecn_sharp_params([us(100)], high_percentile=0)
+
+    @given(
+        rtts=st.lists(
+            st.floats(min_value=1e-6, max_value=1e-3), min_size=2, max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_derived_params_always_valid_config(self, rtts):
+        """The rule of thumb always yields a constructible EcnSharpConfig."""
+        from repro.core.ecn_sharp import EcnSharpConfig
+
+        params = derive_ecn_sharp_params(rtts)
+        config = EcnSharpConfig(
+            params.ins_target, params.pst_target, params.pst_interval
+        )
+        assert config.pst_target <= config.ins_target

@@ -1,0 +1,112 @@
+"""Unit tests for packet queues and the shared buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queues import BufferPool, PacketQueue
+
+from conftest import make_packet
+
+
+class TestPacketQueue:
+    def test_starts_empty(self):
+        queue = PacketQueue()
+        assert queue.is_empty()
+        assert queue.byte_length == 0
+        assert queue.packet_length == 0
+        assert queue.peek() is None
+
+    def test_fifo_order(self):
+        queue = PacketQueue()
+        packets = [make_packet(seq=i) for i in range(5)]
+        for packet in packets:
+            queue.push(packet)
+        assert [queue.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_byte_accounting(self):
+        queue = PacketQueue()
+        queue.push(make_packet(size=1500))
+        queue.push(make_packet(size=40))
+        assert queue.byte_length == 1540
+        queue.pop()
+        assert queue.byte_length == 40
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PacketQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = PacketQueue()
+        queue.push(make_packet(seq=7))
+        assert queue.peek().seq == 7
+        assert queue.packet_length == 1
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=9000), max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_invariant(self, sizes):
+        queue = PacketQueue()
+        for size in sizes:
+            queue.push(make_packet(size=size))
+        assert queue.byte_length == sum(sizes)
+        assert queue.packet_length == len(sizes)
+        popped = 0
+        while not queue.is_empty():
+            popped += queue.pop().size
+        assert popped == sum(sizes)
+        assert queue.byte_length == 0
+
+
+class TestBufferPool:
+    def test_reserve_within_capacity(self):
+        pool = BufferPool(1000)
+        assert pool.try_reserve(600)
+        assert pool.used_bytes == 600
+        assert pool.free_bytes == 400
+
+    def test_reserve_over_capacity_fails_atomically(self):
+        pool = BufferPool(1000)
+        assert pool.try_reserve(900)
+        assert not pool.try_reserve(200)
+        assert pool.used_bytes == 900  # failed reservation left no residue
+
+    def test_exact_fill(self):
+        pool = BufferPool(1000)
+        assert pool.try_reserve(1000)
+        assert not pool.try_reserve(1)
+
+    def test_release_returns_space(self):
+        pool = BufferPool(1000)
+        pool.try_reserve(1000)
+        pool.release(400)
+        assert pool.try_reserve(400)
+
+    def test_underflow_detected(self):
+        pool = BufferPool(1000)
+        with pytest.raises(RuntimeError):
+            pool.release(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=500)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacity(self, ops):
+        pool = BufferPool(2000)
+        reserved = []
+        for is_reserve, size in ops:
+            if is_reserve:
+                if pool.try_reserve(size):
+                    reserved.append(size)
+            elif reserved:
+                pool.release(reserved.pop())
+            assert 0 <= pool.used_bytes <= pool.capacity_bytes
+            assert pool.used_bytes == sum(reserved)

@@ -1,0 +1,170 @@
+"""Unit and integration tests for the DCQCN rate-based transport."""
+
+import pytest
+
+from repro.core import EcnSharpConfig, EcnSharpProbabilistic, ProbabilisticConfig
+from repro.sim import PacketFactory
+from repro.sim.units import gbps, mb, ms, us
+from repro.tcp import DcqcnParams, DcqcnSender, open_dcqcn_flow
+from repro.topology import build_star
+
+from test_tcp_sender import FakeHost, ack
+
+
+def make_sender(sim, size_segments=1000, rate=gbps(10), **kwargs):
+    host = FakeHost(sim)
+    sender = DcqcnSender(
+        sim, host, flow_id=1, dst="b", size_bytes=size_segments * 1460,
+        line_rate_bps=rate, **kwargs,
+    )
+    return sender, host
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = DcqcnParams()
+        assert 0 < params.g <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DcqcnParams(g=0)
+        with pytest.raises(ValueError):
+            DcqcnParams(cnp_interval=0)
+        with pytest.raises(ValueError):
+            DcqcnParams(rai=0)
+
+
+class TestRpAlgorithm:
+    def test_starts_at_line_rate(self, sim):
+        sender, _ = make_sender(sim)
+        assert sender.rc == gbps(10)
+
+    def test_cnp_cuts_rate_and_raises_alpha(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        alpha_before = sender.alpha
+        sender.receive(ack(1, ece=True))
+        assert sender.rc == pytest.approx(gbps(10) * (1 - alpha_before / 2))
+        assert sender.rt == pytest.approx(gbps(10))
+        assert sender.alpha > (1 - sender.params.g) * alpha_before
+
+    def test_cnp_reaction_rate_limited(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        rate_after_first = sender.rc
+        sender.receive(ack(2, ece=True))  # same CNP interval: ignored
+        assert sender.rc == rate_after_first
+        assert sender.cnps_received == 1
+
+    def test_rate_floor(self, sim):
+        sender, _ = make_sender(sim, params=DcqcnParams(min_rate=1e8))
+        sender.start()
+        for index in range(1, 200):
+            sim.run(until=sim.now + us(60))
+            sender.receive(ack(index, ece=True))
+        assert sender.rc >= 1e8
+
+    def test_fast_recovery_returns_to_target(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sender.receive(ack(1, ece=True))  # rc halves, rt = line rate
+        cut_rate = sender.rc
+        # Run a few increase-timer periods with no further CNPs.
+        sim.run(until=sim.now + us(300))
+        assert sender.rc > cut_rate
+        assert sender.rc <= sender.line_rate
+
+    def test_alpha_decays_without_cnps(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sender.alpha = 1.0
+        sim.run(until=sim.now + ms(1))
+        assert sender.alpha < 0.5
+
+    def test_pacing_spacing_follows_rate(self, sim):
+        sender, host = make_sender(sim, rate=gbps(1))
+        sender.start()
+        sim.run(until=us(100))
+        sends = [p.sent_time for p in host.sent]
+        assert len(sends) >= 3
+        gap = sends[1] - sends[0]
+        assert gap == pytest.approx(1460 * 8 / gbps(1), rel=0.01)
+
+    def test_rate_increase_capped_at_line_rate(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sim.run(until=sim.now + ms(2))
+        assert sender.rc <= sender.line_rate
+
+
+class TestReliabilityAndCompletion:
+    def test_completes_over_real_network(self):
+        topo = build_star(n_senders=2)
+        flow = open_dcqcn_flow(
+            topo.network, PacketFactory(), topo.senders[0], topo.receiver,
+            1_000_000, line_rate_bps=gbps(10),
+        )
+        topo.network.sim.run_until_idle(max_events=20_000_000)
+        assert flow.completed
+        # Unmarked path: rate never cut, FCT near line rate.
+        assert flow.fct < 1.5 * (1_000_000 * 8 / gbps(10)) + ms(1)
+
+    def test_go_back_n_recovers_loss(self):
+        # A tiny buffer forces drops; the timeout path must still finish.
+        topo = build_star(n_senders=2, buffer_bytes=15_000)
+        factory = PacketFactory()
+        flows = [
+            open_dcqcn_flow(
+                topo.network, factory, topo.senders[i], topo.receiver,
+                500_000, line_rate_bps=gbps(10),
+            )
+            for i in range(2)
+        ]
+        topo.network.sim.run_until_idle(max_events=50_000_000)
+        assert all(flow.completed for flow in flows)
+
+    def test_invalid_construction(self, sim):
+        with pytest.raises(ValueError):
+            make_sender(sim, size_segments=0)
+        host = FakeHost(sim)
+        with pytest.raises(ValueError):
+            DcqcnSender(sim, host, 1, "b", 1000, line_rate_bps=0)
+
+    def test_cannot_start_twice(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+
+class TestFairnessWithProbabilisticEcnSharp:
+    """The Section 3.5 story end to end: DCQCN + probabilistic ECN#."""
+
+    @staticmethod
+    def run_pair(aqm_factory, until=0.04):
+        topo = build_star(n_senders=4, aqm_factory=aqm_factory, buffer_bytes=mb(4))
+        factory = PacketFactory()
+        flows = [
+            open_dcqcn_flow(
+                topo.network, factory, topo.senders[i], topo.receiver,
+                50_000_000, line_rate_bps=gbps(10),
+            )
+            for i in range(2)
+        ]
+        topo.network.run(until=until)
+        return [flow.sink.expected for flow in flows], topo
+
+    def test_two_flows_converge_to_fair_share(self):
+        def aqm():
+            return EcnSharpProbabilistic(
+                EcnSharpConfig(us(220), us(10), us(240)),
+                ProbabilisticConfig(ins_min=us(40), ins_max=us(200), pmax=0.1),
+                seed=2,
+            )
+
+        delivered, topo = self.run_pair(aqm)
+        assert min(delivered) / max(delivered) > 0.85  # near-equal shares
+        assert topo.bottleneck.stats.dropped_total == 0
+        total_goodput = sum(delivered) * 1460 * 8 / 0.04
+        assert total_goodput > 0.8 * gbps(10)  # and the link stays busy

@@ -1,0 +1,139 @@
+"""Unit tests for DCTCP's alpha estimator and fractional window cut.
+
+Reaction timing follows Linux DCTCP: the *first* ECE of a window enters CWR
+immediately (cut by the current alpha, at most once per window of data);
+alpha itself is refreshed once per window from the marked-byte fraction.
+"""
+
+import pytest
+
+from repro.sim.packet import Ecn, Packet
+from repro.sim.units import ACK_SIZE, MSS, ms
+from repro.tcp.dctcp import DCTCP_G, DctcpSender
+
+from test_tcp_sender import FakeHost, ack
+
+
+def make_dctcp(sim, size_segments=1000, **kwargs):
+    host = FakeHost(sim)
+    kwargs.setdefault("init_cwnd", 10.0)
+    sender = DctcpSender(
+        sim, host, flow_id=1, dst="b", size_bytes=size_segments * MSS, **kwargs
+    )
+    return sender, host
+
+
+class TestAlphaEstimator:
+    def test_initial_alpha_is_one(self, sim):
+        sender, _ = make_dctcp(sim)
+        assert sender.alpha == 1.0
+
+    def test_alpha_decays_without_marks(self, sim):
+        sender, _ = make_dctcp(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq, ece=False))
+        # One or two window boundaries passed with F=0: alpha *= (1-g)^k.
+        assert (1.0 - DCTCP_G) ** 2 <= sender.alpha <= (1.0 - DCTCP_G)
+
+    def test_alpha_converges_to_mark_fraction(self, sim):
+        sender, _ = make_dctcp(sim, size_segments=100_000)
+        sender.start()
+        # Steady state: every ACK marked -> F = 1 -> alpha -> 1.
+        sender.alpha = 0.0
+        seq = 0
+        for _ in range(600):
+            seq += 1
+            sender.receive(ack(seq, ece=True))
+        assert sender.alpha == pytest.approx(1.0, abs=0.05)
+
+    def test_alpha_tracks_partial_fraction(self, sim):
+        sender, _ = make_dctcp(sim, size_segments=100_000, g=0.5)
+        sender.start()
+        sender.alpha = 0.0
+        # Alternate marked/unmarked ACKs.  The repeated cuts shrink the
+        # window to a couple of segments, so per-window F oscillates around
+        # 0.5 rather than settling exactly there; alpha must track the
+        # long-run marked fraction, not collapse to 0 or saturate at 1.
+        for seq in range(1, 1001):
+            sender.receive(ack(seq, ece=(seq % 2 == 0)))
+        assert 0.25 <= sender.alpha <= 0.75
+
+    def test_invalid_g_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_dctcp(sim, g=0.0)
+        with pytest.raises(ValueError):
+            make_dctcp(sim, g=1.5)
+
+    def test_invalid_alpha_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_dctcp(sim, init_alpha=-0.1)
+
+
+class TestWindowCut:
+    def test_cut_is_immediate_and_uses_current_alpha(self, sim):
+        sender, _ = make_dctcp(sim, size_segments=100_000, init_alpha=0.4)
+        sender.start()
+        cwnd_before = sender.cwnd
+        sender.receive(ack(1, ece=True))  # first ECE -> enter CWR now
+        # the cut runs first; the same ACK then adds ~1/cwnd of CA growth
+        assert sender.cwnd == pytest.approx(cwnd_before * (1 - 0.4 / 2), rel=0.03)
+
+    def test_no_cut_without_marks(self, sim):
+        sender, _ = make_dctcp(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq, ece=False))
+        assert sender.cwnd == pytest.approx(20.0)  # pure slow start
+
+    def test_at_most_one_cut_per_window(self, sim):
+        sender, _ = make_dctcp(sim, size_segments=100_000, init_alpha=1.0)
+        sender.start()
+        cwnd_before = sender.cwnd
+        sender.receive(ack(1, ece=True))  # one cut: halves (alpha = 1)
+        after_first = sender.cwnd
+        assert after_first == pytest.approx(cwnd_before / 2, rel=0.05)
+        # Further ECEs inside the same window of data do not cut again.
+        for seq in range(2, 11):
+            sender.receive(ack(seq, ece=True))
+        assert sender.cwnd >= after_first
+
+    def test_new_window_allows_new_cut(self, sim):
+        sender, _ = make_dctcp(sim, size_segments=100_000, init_alpha=1.0)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        epoch_end = sender._cwr_point
+        for seq in range(2, epoch_end + 1):
+            sender.receive(ack(seq, ece=False))
+        grown = sender.cwnd
+        sender.receive(ack(epoch_end + 1, ece=True))
+        assert sender.cwnd < grown
+
+    def test_slow_start_overshoot_bounded(self, sim):
+        """The fix the immediate CWR provides: a mark during slow start
+        caps cwnd right away instead of a doubling-window later."""
+        sender, _ = make_dctcp(sim, size_segments=100_000, init_alpha=1.0)
+        sender.start()
+        # Grow to cwnd 40 in slow start.
+        for seq in range(1, 31):
+            sender.receive(ack(seq, ece=False))
+        assert sender.cwnd == pytest.approx(40.0)
+        sender.receive(ack(31, ece=True))
+        assert sender.cwnd <= 24.0  # cut immediately (alpha decayed slightly), not at window end
+
+    def test_duplicate_acks_not_counted_in_bytes(self, sim):
+        sender, _ = make_dctcp(sim)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        acked_before = sender._acked_bytes
+        sender.receive(ack(1, ece=True))  # duplicate
+        assert sender._acked_bytes == acked_before
+
+    def test_small_alpha_small_cut(self, sim):
+        """DCTCP's whole point: a gentle reduction under light marking."""
+        sender, _ = make_dctcp(sim, size_segments=100_000, init_alpha=0.1)
+        sender.start()
+        cwnd_before = sender.cwnd
+        sender.receive(ack(1, ece=True))
+        # cut fraction alpha/2 = 0.05 -> cwnd drops ~5% (plus ~1/cwnd CA growth).
+        assert sender.cwnd == pytest.approx(cwnd_before * 0.95, rel=0.03)

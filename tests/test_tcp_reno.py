@@ -1,0 +1,76 @@
+"""Unit tests for ECN-enabled NewReno (lambda = 1 reaction)."""
+
+import pytest
+
+from repro.sim.units import MSS
+from repro.tcp.reno import RenoSender
+
+from test_tcp_sender import FakeHost, ack
+
+
+def make_reno(sim, size_segments=1000, **kwargs):
+    host = FakeHost(sim)
+    kwargs.setdefault("init_cwnd", 10.0)
+    sender = RenoSender(
+        sim, host, flow_id=1, dst="b", size_bytes=size_segments * MSS, **kwargs
+    )
+    return sender, host
+
+
+class TestEcnReaction:
+    def test_halves_on_ece(self, sim):
+        sender, _ = make_reno(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq))
+        cwnd_before = sender.cwnd
+        sender.receive(ack(11, ece=True))
+        assert sender.cwnd == pytest.approx(cwnd_before / 2, rel=0.01)
+
+    def test_once_per_window(self, sim):
+        sender, _ = make_reno(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq))
+        cwnd_before = sender.cwnd
+        # Multiple ECE acks within the same window of data: one reduction.
+        sender.receive(ack(11, ece=True))
+        after_first = sender.cwnd
+        sender.receive(ack(12, ece=True))
+        sender.receive(ack(13, ece=True))
+        assert after_first == pytest.approx(cwnd_before / 2, rel=0.05)
+        assert sender.cwnd >= after_first  # grew, never cut again
+
+    def test_new_window_allows_new_cut(self, sim):
+        sender, _ = make_reno(sim)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        first_cut_cwnd = sender.cwnd
+        # Drain past the reduction epoch (send_next at cut time).
+        epoch_end = sender._cwr_point
+        for seq in range(2, epoch_end + 1):
+            sender.receive(ack(seq, ece=False))
+        grown = sender.cwnd
+        assert grown > first_cut_cwnd
+        sender.receive(ack(epoch_end + 1, ece=True))
+        assert sender.cwnd == pytest.approx(grown / 2, rel=0.2)
+
+    def test_floor_of_two_segments(self, sim):
+        sender, _ = make_reno(sim, init_cwnd=2.0)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        assert sender.cwnd >= 2.0
+
+    def test_no_reaction_without_ece(self, sim):
+        sender, _ = make_reno(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq, ece=False))
+        assert sender.cwnd == pytest.approx(20.0)
+
+    def test_ecn_signals_counted(self, sim):
+        sender, _ = make_reno(sim)
+        sender.start()
+        sender.receive(ack(1, ece=True))
+        assert sender.stats.ecn_signals == 1
+        assert sender.stats.ece_acks == 1

@@ -1,0 +1,243 @@
+"""Unit tests for the TCP sender state machine, driven by synthetic ACKs."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Ecn, Packet
+from repro.sim.units import ACK_SIZE, MSS, ms
+from repro.tcp.base import TcpSender
+from repro.tcp.dctcp import DctcpSender
+from repro.tcp.reno import RenoSender
+
+
+class FakeHost:
+    """Captures transmitted packets instead of sending them anywhere."""
+
+    def __init__(self, sim, name="a"):
+        self.sim = sim
+        self.name = name
+        self.sent = []
+        self.unregistered = []
+
+    def transmit(self, packet):
+        self.sent.append(packet)
+
+    def unregister_endpoint(self, flow_id):
+        self.unregistered.append(flow_id)
+
+
+def make_sender(sim, size_bytes=100 * MSS, cls=TcpSender, **kwargs):
+    host = FakeHost(sim)
+    kwargs.setdefault("init_cwnd", 10.0)
+    kwargs.setdefault("min_rto", ms(2))
+    sender = cls(sim, host, flow_id=1, dst="b", size_bytes=size_bytes, **kwargs)
+    return sender, host
+
+
+def ack(seq, ece=False):
+    return Packet(
+        flow_id=1, src="b", dst="a", seq=seq, size=ACK_SIZE, is_ack=True,
+        ecn=Ecn.NOT_ECT, ece=ece,
+    )
+
+
+class TestSendWindow:
+    def test_initial_window_burst(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        assert len(host.sent) == 10
+        assert [p.seq for p in host.sent] == list(range(10))
+
+    def test_last_segment_partial_size(self, sim):
+        sender, host = make_sender(sim, size_bytes=MSS + 100)
+        sender.start()
+        assert sender.total_segments == 2
+        assert host.sent[0].size == MSS + 40
+        assert host.sent[1].size == 100 + 40
+
+    def test_tiny_flow_one_segment(self, sim):
+        sender, host = make_sender(sim, size_bytes=1)
+        sender.start()
+        assert sender.total_segments == 1
+        assert host.sent[0].size == 41
+
+    def test_cannot_start_twice(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+    def test_invalid_size_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_sender(sim, size_bytes=0)
+
+    def test_outstanding_tracks_window(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        assert sender.outstanding == 10
+        sender.receive(ack(4))
+        assert sender.highest_acked == 4
+
+
+class TestSlowStart:
+    def test_window_doubles_per_rtt(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        # ACK the whole initial window: slow start adds one segment per
+        # newly acked segment -> cwnd 20.
+        for seq in range(1, 11):
+            sim.schedule(ms(0.1) * seq, sender.receive, ack(seq))
+        sim.run(until=ms(1.5))  # bounded: an un-ACKed sender RTOs forever
+        assert sender.cwnd == pytest.approx(20.0)
+        assert len(host.sent) == 30  # 10 initial + 20 more
+
+    def test_congestion_avoidance_linear(self, sim):
+        sender, _ = make_sender(sim, size_bytes=2000 * MSS)
+        sender.start()
+        sender.ssthresh = 10.0  # already at threshold -> CA from the start
+        for seq in range(1, 11):
+            sender.receive(ack(seq))
+        # CA: cwnd += 1/cwnd per acked segment => ~+1 over a full window.
+        assert sender.cwnd == pytest.approx(11.0, abs=0.2)
+
+
+class TestFastRetransmit:
+    def test_three_dupacks_trigger(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        sender.receive(ack(3))  # progress to 3
+        sent_before = len(host.sent)
+        for _ in range(3):
+            sender.receive(ack(3))
+        retx = [p for p in host.sent[sent_before:] if p.retransmission]
+        assert len(retx) == 1 and retx[0].seq == 3
+        assert sender.stats.fast_retransmits == 1
+
+    def test_two_dupacks_do_not_trigger(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        sender.receive(ack(3))
+        for _ in range(2):
+            sender.receive(ack(3))
+        assert sender.stats.fast_retransmits == 0
+
+    def test_window_halved_on_entry(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq))  # cwnd 20
+        cwnd_before = sender.cwnd
+        for _ in range(4):
+            sender.receive(ack(10))
+        assert sender.cwnd == pytest.approx(cwnd_before / 2)
+
+    def test_newreno_partial_ack_retransmits_next_hole(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        sender.receive(ack(2))
+        for _ in range(3):
+            sender.receive(ack(2))  # enter recovery, retransmit 2
+        sent_before = len(host.sent)
+        sender.receive(ack(5))  # partial: hole at 5
+        retx = [p for p in host.sent[sent_before:] if p.retransmission]
+        assert retx and retx[0].seq == 5
+
+    def test_full_ack_exits_recovery(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sender.receive(ack(2))
+        for _ in range(3):
+            sender.receive(ack(2))
+        recovery_point = sender._recovery_point
+        sender.receive(ack(recovery_point))
+        assert not sender._in_recovery
+        assert sender.cwnd == pytest.approx(sender.ssthresh)
+
+
+class TestRto:
+    def test_timeout_fires_and_goes_back_n(self, sim):
+        sender, host = make_sender(sim)
+        sender.start()
+        sent_before = len(host.sent)
+        sim.run(until=ms(50))
+        assert sender.stats.timeouts >= 1
+        # After RTO, segment 0 was retransmitted.
+        retx = [p for p in host.sent[sent_before:] if p.seq == 0]
+        assert retx and retx[0].retransmission
+
+    def test_exponential_backoff(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        rto_initial = sender.rto
+        sim.run(until=ms(100))
+        assert sender.stats.timeouts >= 2
+        assert sender.rto > rto_initial
+
+    def test_cwnd_collapses_to_one(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sim.run(until=ms(15))
+        assert sender.stats.timeouts >= 1
+        assert sender.cwnd <= 2.0  # 1 + possibly one ss increment
+
+    def test_ack_cancels_pending_rto(self, sim):
+        sender, _ = make_sender(sim, size_bytes=10 * MSS)
+        sender.start()
+        for seq in range(1, 11):
+            sender.receive(ack(seq))
+        assert sender.completed
+        sim.run(until=ms(100))
+        assert sender.stats.timeouts == 0
+
+
+class TestRttEstimation:
+    def test_srtt_tracks_sample(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sim.schedule(ms(1), sender.receive, ack(1))
+        sim.run(until=ms(1))
+        assert sender.smoothed_rtt == pytest.approx(ms(1), rel=0.01)
+
+    def test_rto_respects_minimum(self, sim):
+        sender, _ = make_sender(sim, min_rto=ms(5))
+        sender.start()
+        sim.schedule(ms(0.1), sender.receive, ack(1))
+        sim.run(until=ms(0.2))
+        assert sender.rto >= ms(5)
+
+    def test_no_sample_from_retransmission(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sim.run(until=ms(10))  # force a timeout -> everything retransmitted
+        timeouts = sender.stats.timeouts
+        assert timeouts >= 1
+        srtt_before = sender.smoothed_rtt
+        sender.receive(ack(1))  # acks a retransmitted segment
+        assert sender.smoothed_rtt == srtt_before  # Karn: no sample
+
+
+class TestCompletion:
+    def test_complete_on_full_ack(self, sim):
+        fired = []
+        host_sender, host = None, None
+        sender, host = make_sender(sim, size_bytes=5 * MSS)
+        sender.on_complete = lambda s: fired.append(s.flow_id)
+        sender.start()
+        sender.receive(ack(5))
+        assert sender.completed
+        assert fired == [1]
+        assert host.unregistered == [1]
+        assert sender.flow_completion_time >= 0
+
+    def test_fct_before_completion_raises(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            _ = sender.flow_completion_time
+
+    def test_acks_after_completion_ignored(self, sim):
+        sender, _ = make_sender(sim, size_bytes=2 * MSS)
+        sender.start()
+        sender.receive(ack(2))
+        sender.receive(ack(2))  # no crash, no state change
+        assert sender.completed

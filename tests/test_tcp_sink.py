@@ -1,0 +1,124 @@
+"""Unit tests for the TCP receiver (cumulative ACKs, ECE echo, completion)."""
+
+import pytest
+
+from repro.sim.packet import Ecn, Packet
+from repro.sim.units import ACK_SIZE, MSS
+
+from test_tcp_sender import FakeHost
+
+
+def make_sink(sim, total_segments=10, on_complete=None):
+    from repro.tcp.sink import TcpSink
+
+    host = FakeHost(sim, name="b")
+    sink = TcpSink(
+        sim, host, flow_id=1, src="a", total_segments=total_segments,
+        on_complete=on_complete,
+    )
+    return sink, host
+
+
+def data(seq, ce=False):
+    packet = Packet(
+        flow_id=1, src="a", dst="b", seq=seq, size=MSS + 40, ecn=Ecn.ECT0
+    )
+    if ce:
+        packet.mark_ce()
+    return packet
+
+
+class TestCumulativeAcks:
+    def test_in_order_acks_advance(self, sim):
+        sink, host = make_sink(sim)
+        for seq in range(3):
+            sink.receive(data(seq))
+        assert [p.seq for p in host.sent] == [1, 2, 3]
+        assert all(p.is_ack for p in host.sent)
+
+    def test_gap_produces_dupacks(self, sim):
+        sink, host = make_sink(sim)
+        sink.receive(data(0))
+        sink.receive(data(2))  # 1 missing
+        sink.receive(data(3))
+        assert [p.seq for p in host.sent] == [1, 1, 1]
+
+    def test_gap_fill_jumps_cumulative(self, sim):
+        sink, host = make_sink(sim)
+        sink.receive(data(0))
+        sink.receive(data(2))
+        sink.receive(data(3))
+        sink.receive(data(1))  # fills the hole
+        assert host.sent[-1].seq == 4
+
+    def test_duplicate_data_counted(self, sim):
+        sink, _ = make_sink(sim)
+        sink.receive(data(0))
+        sink.receive(data(0))
+        assert sink.duplicates_received == 1
+
+    def test_duplicate_out_of_order_counted(self, sim):
+        sink, _ = make_sink(sim)
+        sink.receive(data(5))
+        sink.receive(data(5))
+        assert sink.duplicates_received == 1
+
+    def test_acks_are_not_ect(self, sim):
+        sink, host = make_sink(sim)
+        sink.receive(data(0))
+        assert host.sent[0].ecn == Ecn.NOT_ECT
+        assert host.sent[0].size == ACK_SIZE
+
+    def test_ignores_acks(self, sim):
+        sink, host = make_sink(sim)
+        ack_packet = Packet(
+            flow_id=1, src="a", dst="b", seq=0, size=ACK_SIZE, is_ack=True
+        )
+        sink.receive(ack_packet)
+        assert host.sent == []
+
+
+class TestEceEcho:
+    def test_ce_echoed_on_triggering_ack(self, sim):
+        sink, host = make_sink(sim)
+        sink.receive(data(0, ce=True))
+        sink.receive(data(1, ce=False))
+        assert [p.ece for p in host.sent] == [True, False]
+
+    def test_ce_counted(self, sim):
+        sink, _ = make_sink(sim)
+        sink.receive(data(0, ce=True))
+        sink.receive(data(1, ce=True))
+        assert sink.ce_received == 2
+
+
+class TestCompletion:
+    def test_completes_once_all_data_arrives(self, sim):
+        fired = []
+        sink, _ = make_sink(sim, total_segments=3, on_complete=lambda s: fired.append(s))
+        for seq in range(3):
+            sink.receive(data(seq))
+        assert sink.completed
+        assert len(fired) == 1
+        assert sink.completion_time == sim.now
+
+    def test_out_of_order_completion(self, sim):
+        sink, _ = make_sink(sim, total_segments=3)
+        sink.receive(data(2))
+        sink.receive(data(0))
+        assert not sink.completed
+        sink.receive(data(1))
+        assert sink.completed
+
+    def test_late_duplicates_still_acked_after_completion(self, sim):
+        sink, host = make_sink(sim, total_segments=2)
+        sink.receive(data(0))
+        sink.receive(data(1))
+        sent_before = len(host.sent)
+        sink.receive(data(1))  # late retransmit
+        assert len(host.sent) == sent_before + 1
+        assert host.sent[-1].seq == 2
+
+    def test_invalid_total_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_sink(sim, total_segments=0)

@@ -1,0 +1,83 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import units
+
+
+class TestTime:
+    def test_us(self):
+        assert units.us(250) == pytest.approx(250e-6)
+
+    def test_ms(self):
+        assert units.ms(5) == pytest.approx(5e-3)
+
+    def test_ns(self):
+        assert units.ns(1024) == pytest.approx(1.024e-6)
+
+    def test_roundtrip_us(self):
+        assert units.to_us(units.us(123.4)) == pytest.approx(123.4)
+
+    def test_roundtrip_ms(self):
+        assert units.to_ms(units.ms(7.7)) == pytest.approx(7.7)
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_us_roundtrip_property(self, value):
+        assert units.to_us(units.us(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestSizes:
+    def test_kb_is_1024(self):
+        assert units.kb(1) == 1024
+
+    def test_mb(self):
+        assert units.mb(2) == 2 * 1024 * 1024
+
+    def test_paper_threshold_250kb(self):
+        # The 250KB testbed threshold is ~170 full-size packets.
+        assert units.kb(250) // units.MTU == 170
+
+
+class TestRates:
+    def test_gbps(self):
+        assert units.gbps(10) == 10e9
+
+    def test_mbps(self):
+        assert units.mbps(100) == 100e6
+
+    def test_transmission_delay_1500b_10g(self):
+        # The paper: ~1.2 us to serialize a 1.5KB packet at 10 Gbps.
+        delay = units.transmission_delay(1500, units.gbps(10))
+        assert delay == pytest.approx(1.2e-6)
+
+    def test_transmission_delay_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_delay(1500, 0)
+
+    def test_bdp(self):
+        # C x RTT at 10G and 200us = 250KB (the paper's tail threshold).
+        bdp = units.bandwidth_delay_product(units.gbps(10), units.us(200))
+        assert bdp == pytest.approx(250_000, abs=1)  # float rounding
+
+    def test_bdp_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_delay_product(-1, 0.1)
+
+    @given(
+        size=st.integers(min_value=1, max_value=9000),
+        rate=st.floats(min_value=1e6, max_value=1e12),
+    )
+    def test_transmission_delay_positive_and_linear(self, size, rate):
+        delay = units.transmission_delay(size, rate)
+        assert delay > 0
+        assert units.transmission_delay(2 * size, rate) == pytest.approx(2 * delay)
+
+
+class TestFraming:
+    def test_mss_plus_headers_is_mtu(self):
+        assert units.MSS + units.HEADER_SIZE == units.MTU
+
+    def test_ack_size_is_headers(self):
+        assert units.ACK_SIZE == units.HEADER_SIZE

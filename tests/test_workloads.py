@@ -1,0 +1,232 @@
+"""Unit tests for workloads: CDFs, Poisson arrivals, incast queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import PacketFactory
+from repro.sim.units import gbps
+from repro.topology import build_star
+from repro.workloads import (
+    DATA_MINING,
+    WEB_SEARCH,
+    EmpiricalCdf,
+    PoissonTrafficGenerator,
+    TransportConfig,
+    launch_query,
+    star_pair_picker,
+)
+from repro.experiments.fct import FctCollector
+
+
+class TestEmpiricalCdf:
+    def test_quantile_interpolates(self):
+        cdf = EmpiricalCdf(points=((100, 0.0), (200, 1.0)))
+        assert cdf.quantile(0.5) == pytest.approx(150)
+
+    def test_quantile_endpoints(self):
+        cdf = EmpiricalCdf(points=((100, 0.0), (200, 1.0)))
+        assert cdf.quantile(0.0) == 100
+        assert cdf.quantile(1.0) == 200
+
+    def test_mean_of_uniform(self):
+        cdf = EmpiricalCdf(points=((0.0001, 0.0), (100, 1.0)))
+        assert cdf.mean() == pytest.approx(50, rel=0.01)
+
+    def test_mass_at_first_point(self):
+        # 40% of flows are exactly 100 bytes.
+        cdf = EmpiricalCdf(points=((100, 0.4), (200, 1.0)))
+        assert cdf.mean() == pytest.approx(0.4 * 100 + 0.6 * 150)
+
+    def test_cdf_at(self):
+        cdf = EmpiricalCdf(points=((100, 0.0), (200, 1.0)))
+        assert cdf.cdf_at(50) == 0.0
+        assert cdf.cdf_at(150) == pytest.approx(0.5)
+        assert cdf.cdf_at(500) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=((100, 0.0),))  # too few
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=((200, 0.0), (100, 1.0)))  # not increasing
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=((100, 0.5), (200, 0.4)))  # decreasing prob
+        with pytest.raises(ValueError):
+            EmpiricalCdf(points=((100, 0.0), (200, 0.9)))  # doesn't reach 1
+
+    def test_sampling_matches_mean(self):
+        rng = np.random.default_rng(1)
+        samples = WEB_SEARCH.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(WEB_SEARCH.mean(), rel=0.05)
+
+    def test_curve_monotone(self):
+        sizes, probs = WEB_SEARCH.curve()
+        assert probs == sorted(probs)
+        assert probs[-1] == pytest.approx(1.0)
+
+    @given(u=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_quantile_within_support(self, u):
+        value = DATA_MINING.quantile(u)
+        assert DATA_MINING.points[0][0] <= value <= DATA_MINING.points[-1][0]
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone(self, data):
+        u1 = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        u2 = data.draw(st.floats(min_value=0.0, max_value=1.0))
+        lo, hi = sorted((u1, u2))
+        assert WEB_SEARCH.quantile(lo) <= WEB_SEARCH.quantile(hi)
+
+
+class TestPublishedWorkloads:
+    def test_web_search_heavy_tail(self):
+        # >=50% of flows below 15KB, yet the mean is hundreds of KB.
+        assert WEB_SEARCH.cdf_at(15_000) >= 0.5
+        assert WEB_SEARCH.mean() > 100_000
+
+    def test_data_mining_heavier_tail(self):
+        # Data mining: 80% under 350KB but a 100MB max flow.
+        assert DATA_MINING.cdf_at(350_000) == pytest.approx(0.8, abs=0.01)
+        assert DATA_MINING.points[-1][0] == 100_000_000
+        assert DATA_MINING.mean() > WEB_SEARCH.mean()
+
+    def test_names(self):
+        assert WEB_SEARCH.name == "web-search"
+        assert DATA_MINING.name == "data-mining"
+
+
+class TestPoissonGenerator:
+    def make_generator(self, load=0.5, n_flows=20, seed=0):
+        topo = build_star(n_senders=3)
+        rng = np.random.default_rng(seed)
+        collector = FctCollector()
+        generator = PoissonTrafficGenerator(
+            network=topo.network,
+            factory=PacketFactory(),
+            pair_picker=star_pair_picker(topo.senders, topo.receiver),
+            workload=WEB_SEARCH,
+            load=load,
+            capacity_bps=gbps(10),
+            n_flows=n_flows,
+            rng=rng,
+            on_flow_complete=collector.record,
+        )
+        return topo, generator, collector
+
+    def test_arrival_rate_formula(self):
+        _, generator, _ = self.make_generator(load=0.5)
+        expected = 0.5 * gbps(10) / (8 * WEB_SEARCH.mean())
+        assert generator.arrival_rate == pytest.approx(expected)
+
+    def test_all_flows_launched_and_completed(self):
+        topo, generator, collector = self.make_generator(n_flows=15)
+        generator.start()
+        topo.network.sim.run_until_idle(max_events=50_000_000)
+        assert generator.launched == 15
+        assert len(collector) == 15
+
+    def test_interarrivals_mean_close_to_poisson(self):
+        topo, generator, _ = self.make_generator(n_flows=200, load=0.3)
+        generator.start()
+        topo.network.sim.run_until_idle(max_events=100_000_000)
+        starts = sorted(flow.start_time for flow in generator.flows)
+        gaps = np.diff(starts)
+        assert np.mean(gaps) == pytest.approx(generator.mean_interarrival, rel=0.3)
+
+    def test_validation(self):
+        topo = build_star(n_senders=2)
+        rng = np.random.default_rng(0)
+        kwargs = dict(
+            network=topo.network,
+            factory=PacketFactory(),
+            pair_picker=star_pair_picker(topo.senders, topo.receiver),
+            workload=WEB_SEARCH,
+            capacity_bps=gbps(10),
+            n_flows=5,
+            rng=rng,
+        )
+        with pytest.raises(ValueError):
+            PoissonTrafficGenerator(load=0.0, **kwargs)
+        with pytest.raises(ValueError):
+            PoissonTrafficGenerator(load=1.5, **kwargs)
+
+    def test_rtt_profile_requires_stage(self):
+        from repro.netem.profiles import RttProfile
+        from repro.sim.units import us
+
+        topo = build_star(n_senders=2)
+        with pytest.raises(ValueError):
+            PoissonTrafficGenerator(
+                network=topo.network,
+                factory=PacketFactory(),
+                pair_picker=star_pair_picker(topo.senders, topo.receiver),
+                workload=WEB_SEARCH,
+                load=0.5,
+                capacity_bps=gbps(10),
+                n_flows=5,
+                rng=np.random.default_rng(0),
+                rtt_profile=RttProfile.from_variation(us(70), 3.0),
+            )
+
+
+class TestIncast:
+    def test_fanout_flows_created(self):
+        topo = build_star(n_senders=4)
+        handles = launch_query(
+            topo.network,
+            PacketFactory(),
+            topo.senders,
+            topo.receiver,
+            fanout=10,
+            start_time=0.001,
+            rng=np.random.default_rng(0),
+        )
+        assert len(handles) == 10
+        # Workers spread round-robin over the 4 physical senders.
+        sources = {handle.sender.src for handle in handles}
+        assert len(sources) == 4
+
+    def test_sizes_in_query_range(self):
+        topo = build_star(n_senders=4)
+        handles = launch_query(
+            topo.network,
+            PacketFactory(),
+            topo.senders,
+            topo.receiver,
+            fanout=50,
+            start_time=0.001,
+            rng=np.random.default_rng(0),
+        )
+        assert all(3_000 <= handle.size_bytes <= 60_000 for handle in handles)
+
+    def test_all_queries_complete(self):
+        topo = build_star(n_senders=4)
+        done = []
+        launch_query(
+            topo.network,
+            PacketFactory(),
+            topo.senders,
+            topo.receiver,
+            fanout=20,
+            start_time=0.001,
+            rng=np.random.default_rng(0),
+            transport=TransportConfig(init_cwnd=2.0),
+            on_flow_complete=done.append,
+        )
+        topo.network.sim.run_until_idle(max_events=50_000_000)
+        assert len(done) == 20
+
+    def test_validation(self):
+        topo = build_star(n_senders=2)
+        with pytest.raises(ValueError):
+            launch_query(
+                topo.network,
+                PacketFactory(),
+                topo.senders,
+                topo.receiver,
+                fanout=0,
+                start_time=0.0,
+                rng=np.random.default_rng(0),
+            )
