@@ -14,6 +14,8 @@ The package is organised as:
 * :mod:`repro.dataplane` -- Tofino pipeline model (Algorithm 2 clock,
   register constraints).
 * :mod:`repro.measurement` -- in-simulator RTT probing (PingMesh stand-in).
+* :mod:`repro.telemetry` -- metrics registry, flight-recorder tracing,
+  profiling, and run provenance (opt-in, near-free when disabled).
 * :mod:`repro.experiments` -- harness regenerating every table and figure.
 """
 
@@ -30,8 +32,9 @@ from .core import (
 )
 from .sim import Network, Simulator
 from .tcp import DctcpSender, FlowHandle, RenoSender, open_flow
+from .telemetry import RunManifest, Telemetry, activate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Codel",
@@ -49,5 +52,8 @@ __all__ = [
     "FlowHandle",
     "RenoSender",
     "open_flow",
+    "RunManifest",
+    "Telemetry",
+    "activate",
     "__version__",
 ]

@@ -6,14 +6,25 @@ Usage::
     python -m repro run table1
     python -m repro run fig6 --full
     python -m repro run fig11 --seed 7
+    python -m repro run fig10 --trace --trace-out t.jsonl --metrics-out m.json
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
 experiments accept a ``--seed`` for reproducibility.
+
+Every run prints a ``# profile:`` line (events dispatched, events/second,
+wall seconds per virtual second, peak heap depth) -- the perf baseline
+optimization work is judged against.  ``--trace`` turns on the
+flight-recorder event trace, ``--trace-out`` exports it as JSONL, and
+``--metrics-out`` writes the metrics registry snapshot plus a run manifest
+(seed, scale, git SHA, event counts) as JSON.  See DESIGN.md ("Telemetry &
+instrumentation").
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -31,7 +42,10 @@ from .experiments.figures import (
     fig13,
     table1,
 )
+from .experiments.report import format_manifest, format_trace_summary
 from .experiments.runner import Scale
+from .sim.units import ms
+from .telemetry import CATEGORIES, RunManifest, Telemetry, activate
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -150,6 +164,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale parameters (slow; equivalent to REPRO_FULL=1)",
     )
     run.add_argument("--seed", type=int, default=None, help="override the seed")
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a flight-recorder event trace of the run",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export the event trace as JSONL (implies --trace)",
+    )
+    run.add_argument(
+        "--trace-categories",
+        metavar="CATS",
+        default=None,
+        help=(
+            "comma-separated categories to trace (implies --trace); "
+            f"available: {','.join(CATEGORIES)}"
+        ),
+    )
+    run.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65_536,
+        metavar="N",
+        help="flight-recorder ring size (oldest events evicted beyond it)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write metrics snapshot + run manifest as JSON",
+    )
     return parser
 
 
@@ -161,7 +208,8 @@ _DEFAULT_SEEDS = {
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
@@ -171,10 +219,68 @@ def main(argv: Optional[list] = None) -> int:
     description, runner = EXPERIMENTS[args.experiment]
     scale = Scale.paper() if args.full else Scale.from_env()
     seed = args.seed if args.seed is not None else _DEFAULT_SEEDS[args.experiment]
+
+    trace_enabled = (
+        args.trace or args.trace_out is not None or args.trace_categories is not None
+    )
+    categories = (
+        [c.strip() for c in args.trace_categories.split(",") if c.strip()]
+        if args.trace_categories is not None
+        else None
+    )
+    if categories is not None:
+        unknown = sorted(set(categories) - set(CATEGORIES))
+        if unknown:
+            parser.error(
+                f"unknown trace categories: {','.join(unknown)} "
+                f"(available: {','.join(CATEGORIES)})"
+            )
+    if args.trace_capacity <= 0:
+        parser.error("--trace-capacity must be positive")
+    # Fail on an unwritable output path now, not after a long run.
+    for option, path in (("--trace-out", args.trace_out),
+                         ("--metrics-out", args.metrics_out)):
+        if path is not None:
+            directory = os.path.dirname(path) or "."
+            if not os.path.isdir(directory):
+                parser.error(f"{option}: directory does not exist: {directory}")
+    collect_metrics = args.metrics_out is not None
+    # Per-packet hooks attach only when something consumes them; a plain
+    # run keeps the bare hot-path cost and still gets the profiler line.
+    telemetry = Telemetry(
+        trace=trace_enabled,
+        trace_categories=categories,
+        ring_capacity=args.trace_capacity,
+        metrics=collect_metrics,
+        snapshot_interval=ms(1) if collect_metrics else None,
+    )
+    manifest = RunManifest.collect(args.experiment, seed=seed, scale=scale)
+
     print(f"# {description} (seed={seed}, {'full' if scale.full else 'reduced'} scale)")
     started = time.time()
-    print(runner(scale, seed))
-    print(f"# completed in {time.time() - started:.1f}s")
+    with activate(telemetry):
+        print(runner(scale, seed))
+    wall = time.time() - started
+    manifest.finish(
+        wall_seconds=wall,
+        events=telemetry.profiler.events if telemetry.profiler else None,
+    )
+    print(f"# completed in {wall:.1f}s")
+    if telemetry.profiler is not None:
+        print(f"# {telemetry.profiler.summary_line()}")
+    print(f"# {format_manifest(manifest)}")
+    if telemetry.recorder is not None:
+        print(f"# {format_trace_summary(telemetry.recorder)}")
+    if args.trace_out is not None:
+        written = telemetry.recorder.export_jsonl(args.trace_out)
+        print(f"# trace written to {args.trace_out} ({written} events)")
+    if args.metrics_out is not None:
+        snapshot = telemetry.snapshot()
+        snapshot["manifest"] = manifest.to_dict()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# metrics written to {args.metrics_out}")
     return 0
 
 

@@ -20,6 +20,7 @@ from abc import ABC
 from typing import Optional
 
 from ..sim.packet import Ecn, Packet
+from ..telemetry.runtime import dataplane_telemetry
 
 __all__ = ["Aqm", "NullAqm", "MarkingStats"]
 
@@ -48,6 +49,7 @@ class Aqm(ABC):
 
     def __init__(self) -> None:
         self.stats = MarkingStats()
+        self.telemetry = dataplane_telemetry()
 
     # ------------------------------------------------------------------ API
 
@@ -68,10 +70,16 @@ class Aqm(ABC):
 
     # -------------------------------------------------------------- helpers
 
-    def _congestion_signal(self, packet: Packet, kind: str = "instant") -> bool:
+    def _congestion_signal(
+        self, packet: Packet, kind: str = "instant", now: float = -1.0
+    ) -> bool:
         """Apply a congestion signal: CE-mark if ECN-capable, else report
         that the packet should be dropped.  Returns True if the packet
-        survives (was marked), False if it must be dropped."""
+        survives (was marked), False if it must be dropped.
+
+        ``now`` timestamps the telemetry mark event; callers inside the
+        enqueue/dequeue hooks pass the hook's clock.
+        """
         self.stats.packets_seen += 0  # counted by callers; keep hook cheap
         if Ecn.is_ect(packet.ecn) or packet.ecn == Ecn.CE:
             packet.mark_ce()
@@ -80,6 +88,8 @@ class Aqm(ABC):
                 self.stats.instant_marks += 1
             elif kind == "persistent":
                 self.stats.persistent_marks += 1
+            if self.telemetry is not None:
+                self.telemetry.on_mark(type(self).__name__, packet, kind, now)
             return True
         self.stats.aqm_drops += 1
         return False

@@ -73,14 +73,14 @@ class Codel(Aqm):
                 self._marking = False
                 return True
             if now >= self._mark_next:
-                survived = self._congestion_signal(packet, kind="persistent")
+                survived = self._congestion_signal(packet, kind="persistent", now=now)
                 self._count += 1
                 self._mark_next += self.interval / math.sqrt(self._count)
                 return survived
             return True
 
         if ok_to_mark:
-            survived = self._congestion_signal(packet, kind="persistent")
+            survived = self._congestion_signal(packet, kind="persistent", now=now)
             self._marking = True
             # Reference CoDel resumes with a higher count if we re-enter the
             # marking state shortly after leaving it, so persistent offenders

@@ -132,7 +132,7 @@ class EcnSharp(Aqm):
         # first_above_time/marking_state track the queue continuously.
         persistent = self._should_persistent_mark(packet, now)
         if packet.sojourn_time(now) > self.config.ins_target:
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         if persistent:
-            return self._congestion_signal(packet, kind="persistent")
+            return self._congestion_signal(packet, kind="persistent", now=now)
         return True

@@ -94,7 +94,7 @@ class EcnSharpProbabilistic(EcnSharp):
         if probability >= 1.0 or (
             probability > 0.0 and self._rng.random() < probability
         ):
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         if persistent:
-            return self._congestion_signal(packet, kind="persistent")
+            return self._congestion_signal(packet, kind="persistent", now=now)
         return True

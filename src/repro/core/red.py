@@ -47,7 +47,7 @@ class DctcpRed(Aqm):
     def on_enqueue(self, packet: Packet, now: float, queue_bytes: int) -> bool:
         self.stats.packets_seen += 1
         if queue_bytes >= self.threshold_bytes:
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         return True
 
 
@@ -67,7 +67,7 @@ class SojournRed(Aqm):
     def on_dequeue(self, packet: Packet, now: float) -> bool:
         self.stats.packets_seen += 1
         if packet.sojourn_time(now) > self.threshold_seconds:
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         return True
 
 
@@ -113,5 +113,5 @@ class ProbabilisticRed(Aqm):
         self.stats.packets_seen += 1
         probability = self.marking_probability(queue_bytes)
         if probability > 0.0 and self._rng.random() < probability:
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         return True

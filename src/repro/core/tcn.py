@@ -32,5 +32,5 @@ class Tcn(Aqm):
     def on_dequeue(self, packet: Packet, now: float) -> bool:
         self.stats.packets_seen += 1
         if packet.sojourn_time(now) > self.threshold_seconds:
-            return self._congestion_signal(packet, kind="instant")
+            return self._congestion_signal(packet, kind="instant", now=now)
         return True

@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "fmt_us", "fmt_ratio", "fmt_opt"]
+__all__ = [
+    "format_table",
+    "fmt_us",
+    "fmt_ratio",
+    "fmt_opt",
+    "format_manifest",
+    "format_trace_summary",
+]
 
 
 def fmt_us(seconds: Optional[float]) -> str:
@@ -57,3 +64,40 @@ def format_table(
     lines.append("  ".join("-" * width for width in widths))
     lines.extend(render_row(row) for row in materialized)
     return "\n".join(lines)
+
+
+def format_manifest(manifest) -> str:
+    """One-line provenance stamp for a :class:`~repro.telemetry.RunManifest`.
+
+    Example::
+
+        run_star_fct seed=21 scheme=EcnSharp sha=f0b27c3 events=1,204,551 wall=2.1s
+    """
+    parts = [manifest.experiment]
+    if manifest.seed is not None:
+        parts.append(f"seed={manifest.seed}")
+    scheme = manifest.params.get("scheme")
+    if scheme:
+        parts.append(f"scheme={scheme}")
+    if manifest.git_sha:
+        parts.append(f"sha={manifest.git_sha[:7]}")
+    if manifest.events is not None:
+        parts.append(f"events={manifest.events:,}")
+    if manifest.wall_seconds is not None:
+        parts.append(f"wall={manifest.wall_seconds:.1f}s")
+    return " ".join(parts)
+
+
+def format_trace_summary(recorder) -> str:
+    """One-line flight-recorder summary (ring occupancy + category mix)."""
+    by_category = recorder.counts_by_category()
+    mix = " ".join(f"{k}={v}" for k, v in sorted(by_category.items()))
+    line = (
+        f"trace: {recorder.emitted:,} events emitted, "
+        f"{len(recorder):,} buffered"
+    )
+    if recorder.evicted:
+        line += f" ({recorder.evicted:,} evicted by ring wraparound)"
+    if mix:
+        line += f" [{mix}]"
+    return line

@@ -13,12 +13,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.base import Aqm
 from ..netem.profiles import RttProfile
+from ..telemetry.provenance import RunManifest
+from ..telemetry.runtime import get_active
 from ..sim.packet import PacketFactory
 from ..sim.units import HEADER_SIZE, MTU, gbps, mb, us
 from ..topology.leafspine import build_leafspine
@@ -117,6 +120,7 @@ class ExperimentResult:
     timeouts: int
     sim_duration: float
     events: int
+    manifest: Optional[RunManifest] = None
 
     @property
     def n_flows(self) -> int:
@@ -143,7 +147,12 @@ def _drain(network, collector: FctCollector, expected: int) -> None:
         )
 
 
-def _result(topology_ports, network, collector: FctCollector) -> ExperimentResult:
+def _result(
+    topology_ports,
+    network,
+    collector: FctCollector,
+    manifest: Optional[RunManifest] = None,
+) -> ExperimentResult:
     marks = instant = persistent = drops = 0
     for port in topology_ports:
         stats = port.aqm.stats
@@ -151,6 +160,11 @@ def _result(topology_ports, network, collector: FctCollector) -> ExperimentResul
         instant += stats.instant_marks
         persistent += stats.persistent_marks
         drops += port.stats.dropped_total
+    if manifest is not None:
+        manifest.events = network.sim.events_processed
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.add_manifest(manifest)
     return ExperimentResult(
         summary=collector.summary(),
         collector=collector,
@@ -161,6 +175,7 @@ def _result(topology_ports, network, collector: FctCollector) -> ExperimentResul
         timeouts=collector.total_timeouts(),
         sim_duration=network.sim.now,
         events=network.sim.events_processed,
+        manifest=manifest,
     )
 
 
@@ -186,12 +201,26 @@ def run_star_fct(
     schemes, so normalized FCT comparisons are paired (lower variance than
     independent sampling -- the paper averages three runs instead).
     """
+    wall_start = perf_counter()
     topo = build_star(
         n_senders=n_senders,
         link_rate_bps=link_rate_bps,
         link_delay=link_delay,
         buffer_bytes=buffer_bytes,
         aqm_factory=aqm_factory,
+    )
+    manifest = RunManifest.collect(
+        "run_star_fct",
+        seed=seed,
+        scheme=type(topo.switch.ports[0].aqm).__name__,
+        load=load,
+        n_flows=n_flows,
+        n_senders=n_senders,
+        variation=variation,
+        rtt_min=rtt_min,
+        link_rate_bps=link_rate_bps,
+        buffer_bytes=buffer_bytes,
+        rtt_shape=rtt_shape,
     )
     rng = np.random.default_rng(seed)
     factory = PacketFactory()
@@ -214,8 +243,9 @@ def run_star_fct(
     )
     generator.start()
     _drain(topo.network, collector, n_flows)
+    manifest.wall_seconds = perf_counter() - wall_start
     switch_ports = list(topo.switch.ports)
-    return _result(switch_ports, topo.network, collector)
+    return _result(switch_ports, topo.network, collector, manifest=manifest)
 
 
 def pool_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
@@ -237,6 +267,9 @@ def pool_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
         timeouts=sum(r.timeouts for r in results),
         sim_duration=max(r.sim_duration for r in results),
         events=sum(r.events for r in results),
+        # Pooled runs share a configuration; the first run's manifest
+        # stands for the pool (seeds are consecutive from its seed).
+        manifest=results[0].manifest,
     )
 
 
@@ -295,6 +328,7 @@ def run_leafspine_fct(
     """One large-scale run: any-to-any Poisson traffic over a leaf-spine
     fabric with ECMP (Section 5.3's setup, possibly reduced dims)."""
     spines, leaves, hosts_per_leaf = dims
+    wall_start = perf_counter()
     topo = build_leafspine(
         n_spines=spines,
         n_leaves=leaves,
@@ -302,6 +336,19 @@ def run_leafspine_fct(
         link_rate_bps=link_rate_bps,
         buffer_bytes=buffer_bytes,
         aqm_factory=aqm_factory,
+    )
+    manifest = RunManifest.collect(
+        "run_leafspine_fct",
+        seed=seed,
+        scheme=type(topo.spines[0].ports[0].aqm).__name__,
+        load=load,
+        n_flows=n_flows,
+        dims=dims,
+        variation=variation,
+        rtt_min=rtt_min,
+        link_rate_bps=link_rate_bps,
+        buffer_bytes=buffer_bytes,
+        rtt_shape=rtt_shape,
     )
     rng = np.random.default_rng(seed)
     factory = PacketFactory()
@@ -324,7 +371,8 @@ def run_leafspine_fct(
     )
     generator.start()
     _drain(topo.network, collector, n_flows)
+    manifest.wall_seconds = perf_counter() - wall_start
     fabric_ports = [
         port for switch in (topo.spines + topo.leaves) for port in switch.ports
     ]
-    return _result(fabric_ports, topo.network, collector)
+    return _result(fabric_ports, topo.network, collector, manifest=manifest)

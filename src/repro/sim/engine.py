@@ -14,7 +14,11 @@ remove entries from the middle of the heap.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
+
+from ..telemetry.profiler import HEAP_SAMPLE_MASK, RunProfiler
+from ..telemetry.runtime import get_active
 
 __all__ = ["Simulator", "Timer", "SimulationError"]
 
@@ -33,7 +37,14 @@ class Simulator:
         sim.run(until=1.0)
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_events_processed", "_running")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_sequence",
+        "_events_processed",
+        "_running",
+        "_profiler",
+    )
 
     def __init__(self) -> None:
         self._now: float = 0.0
@@ -41,6 +52,10 @@ class Simulator:
         self._sequence: int = 0
         self._events_processed: int = 0
         self._running: bool = False
+        telemetry = get_active()
+        self._profiler: Optional[RunProfiler] = (
+            telemetry.profiler if telemetry is not None else None
+        )
 
     @property
     def now(self) -> float:
@@ -49,8 +64,18 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events dispatched so far (for instrumentation)."""
+        """Number of events dispatched so far.  Updated per dispatch, so
+        monitors and profilers can read a live value mid-run."""
         return self._events_processed
+
+    @property
+    def profiler(self) -> Optional[RunProfiler]:
+        """Profiler collecting run statistics, if one is attached."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional[RunProfiler]) -> None:
+        self._profiler = profiler
 
     @property
     def pending_events(self) -> int:
@@ -85,18 +110,49 @@ class Simulator:
         self._running = True
         try:
             heap = self._heap
-            dispatched = 0
-            while heap:
-                when = heap[0][0]
-                if until is not None and when > until:
-                    break
-                if max_events is not None and dispatched >= max_events:
-                    break
-                when, _, callback, args = heapq.heappop(heap)
-                self._now = when
-                callback(*args)
-                dispatched += 1
-            self._events_processed += dispatched
+            # ``_events_processed`` is incremented per dispatch (not batched
+            # at return) so monitors and the profiler can read a live value
+            # mid-run; the dispatch budget is tracked through it too, which
+            # keeps the loop at the same per-event op count either way.
+            start_events = self._events_processed
+            limit = None if max_events is None else start_events + max_events
+            profiler = self._profiler
+            if profiler is None:
+                while heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    if limit is not None and self._events_processed >= limit:
+                        break
+                    when, _, callback, args = heapq.heappop(heap)
+                    self._now = when
+                    callback(*args)
+                    self._events_processed += 1
+            else:
+                wall_start = perf_counter()
+                virtual_start = self._now
+                peak_heap = len(heap)
+                while heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    if limit is not None and self._events_processed >= limit:
+                        break
+                    when, _, callback, args = heapq.heappop(heap)
+                    self._now = when
+                    callback(*args)
+                    self._events_processed += 1
+                    if (
+                        self._events_processed & HEAP_SAMPLE_MASK == 0
+                        and len(heap) > peak_heap
+                    ):
+                        peak_heap = len(heap)
+                profiler.record_run(
+                    events=self._events_processed - start_events,
+                    wall_seconds=perf_counter() - wall_start,
+                    virtual_seconds=self._now - virtual_start,
+                    peak_heap_depth=peak_heap,
+                )
             if until is not None and self._now < until:
                 self._now = until
         finally:

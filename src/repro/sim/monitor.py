@@ -84,9 +84,38 @@ class QueueMonitor:
         """(times, packet counts) suitable for plotting Figure 10."""
         return [s.time for s in self.samples], [s.packets for s in self.samples]
 
+    def series_bytes(self) -> Tuple[List[float], List[int]]:
+        """(times, byte counts), the byte-occupancy companion of
+        :meth:`series`."""
+        return [s.time for s in self.samples], [s.bytes for s in self.samples]
+
+    def percentile(self, p: float, bytes_: bool = False) -> float:
+        """p-th percentile of sampled depth (packets, or bytes when
+        ``bytes_`` is set), by nearest-rank on the sorted samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        values = sorted(
+            (s.bytes if bytes_ else s.packets) for s in self.samples
+        )
+        rank = max(1, -(-int(p * len(values)) // 100))  # ceil, at least 1
+        return float(values[rank - 1])
+
+    def percentiles(
+        self, ps: Tuple[float, ...] = (50.0, 95.0, 99.0), bytes_: bool = False
+    ) -> Dict[float, float]:
+        """Convenience bundle of :meth:`percentile` values (metrics
+        snapshots report p50/p95/p99 of queue depth)."""
+        return {p: self.percentile(p, bytes_=bytes_) for p in ps}
+
 
 class DropTracer:
-    """Counts packet drops on a port by reason and flow."""
+    """Counts packet drops on a port by reason and flow.
+
+    Chains to any previously installed ``port.on_drop`` callback, so
+    several observers (and the telemetry layer) can coexist on one port.
+    """
 
     def __init__(self, port: Port) -> None:
         self.total = 0
@@ -94,9 +123,12 @@ class DropTracer:
         self.by_flow: Dict[int, int] = {}
         self.events: List[Tuple[float, int, str]] = []
         self._port = port
+        self._chained = port.on_drop
         port.on_drop = self._record
 
     def _record(self, packet: Packet, reason: str) -> None:
+        if self._chained is not None:
+            self._chained(packet, reason)
         self.total += 1
         self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
         self.by_flow[packet.flow_id] = self.by_flow.get(packet.flow_id, 0) + 1

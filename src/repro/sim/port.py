@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
+from ..telemetry.runtime import dataplane_telemetry
 from .engine import Simulator
 from .packet import Packet
 from .queues import BufferPool
@@ -67,6 +68,7 @@ class Port:
         "stats",
         "_busy",
         "on_drop",
+        "telemetry",
     )
 
     def __init__(
@@ -98,6 +100,11 @@ class Port:
         self.stats = PortStats()
         self._busy = False
         self.on_drop: Optional[Callable[[Packet, str], None]] = None
+        # Attached once here; every hot-path hook below is a single
+        # ``is not None`` check when telemetry is inactive.
+        self.telemetry = dataplane_telemetry()
+        if self.telemetry is not None:
+            self.telemetry.register_port(self)
 
     # ------------------------------------------------------------- queueing
 
@@ -122,16 +129,22 @@ class Port:
             self.stats.dropped_overflow += 1
             if self.on_drop is not None:
                 self.on_drop(packet, "overflow")
+            if self.telemetry is not None:
+                self.telemetry.on_drop(self, packet, "overflow", now)
             return
         if not self.aqm.on_enqueue(packet, now, queue_bytes):
             self.buffer.release(packet.size)
             self.stats.dropped_aqm += 1
             if self.on_drop is not None:
                 self.on_drop(packet, "aqm")
+            if self.telemetry is not None:
+                self.telemetry.on_drop(self, packet, "aqm", now)
             return
         packet.enqueue_time = now
         self.scheduler.enqueue(packet)
         self.stats.enqueued_packets += 1
+        if self.telemetry is not None:
+            self.telemetry.on_enqueue(self, packet, now)
         if not self._busy:
             self._transmit_next()
 
@@ -150,7 +163,11 @@ class Port:
                 self.stats.dropped_aqm += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, "aqm")
+                if self.telemetry is not None:
+                    self.telemetry.on_drop(self, packet, "aqm", now)
                 continue
+            if self.telemetry is not None:
+                self.telemetry.on_dequeue(self, packet, now)
             self._busy = True
             delay = transmission_delay(packet.size, self.rate_bps)
             self.sim.schedule(delay, self._transmission_complete, packet)

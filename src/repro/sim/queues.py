@@ -68,17 +68,23 @@ class BufferPool:
     byte/time based and packets are variable-sized.
     """
 
-    __slots__ = ("capacity_bytes", "_used")
+    __slots__ = ("capacity_bytes", "_used", "_peak")
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self._used = 0
+        self._peak = 0
 
     @property
     def used_bytes(self) -> int:
         return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of occupancy (telemetry: burst absorption)."""
+        return self._peak
 
     @property
     def free_bytes(self) -> int:
@@ -86,9 +92,12 @@ class BufferPool:
 
     def try_reserve(self, size: int) -> bool:
         """Reserve ``size`` bytes; False (and no reservation) if full."""
-        if self._used + size > self.capacity_bytes:
+        used = self._used + size
+        if used > self.capacity_bytes:
             return False
-        self._used += size
+        self._used = used
+        if used > self._peak:
+            self._peak = used
         return True
 
     def release(self, size: int) -> None:

@@ -27,6 +27,7 @@ from ..sim.engine import Simulator, Timer
 from ..sim.network import Host
 from ..sim.packet import Ecn, Packet
 from ..sim.units import HEADER_SIZE, MSS, ms
+from ..telemetry.runtime import dataplane_telemetry
 
 __all__ = ["TcpSender", "SenderStats"]
 
@@ -125,6 +126,7 @@ class TcpSender:
         self._retransmitted_segments: set = set()
 
         self.stats = SenderStats()
+        self.telemetry = dataplane_telemetry()
         self.started = False
         self.completed = False
         self.start_time: float = -1.0
@@ -191,18 +193,22 @@ class TcpSender:
             self.stats.segments_sent += 1
             if retransmission:
                 self.stats.retransmissions += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_retransmit(self, seq, "go-back-n")
             self.send_next += 1
             sent_any = True
         if sent_any and not self._rto_timer.armed and self.outstanding > 0:
             self._rto_timer.restart(self.rto)
 
-    def _retransmit(self, seq: int) -> None:
+    def _retransmit(self, seq: int, kind: str = "fast") -> None:
         self._retransmitted_segments.add(seq)
         self._send_times.pop(seq, None)  # Karn: never RTT-sample a retransmit
         packet = self._make_segment(seq, retransmission=True)
         self.host.transmit(packet)
         self.stats.segments_sent += 1
         self.stats.retransmissions += 1
+        if self.telemetry is not None:
+            self.telemetry.on_retransmit(self, seq, kind)
 
     # ----------------------------------------------------------- receiving
 
@@ -236,7 +242,7 @@ class TcpSender:
                 self.cwnd = self.ssthresh
             else:
                 # NewReno partial ACK: the next hole was lost too.
-                self._retransmit(ack)
+                self._retransmit(ack, kind="partial-ack")
         else:
             self._grow_window(newly_acked)
 
@@ -260,8 +266,11 @@ class TcpSender:
     def _enter_recovery(self) -> None:
         self._in_recovery = True
         self._recovery_point = self.send_next
+        old_cwnd = self.cwnd
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = self.ssthresh
+        if self.telemetry is not None:
+            self.telemetry.on_cwnd(self, old_cwnd, self.cwnd, "fast-recovery")
 
     def _grow_window(self, newly_acked: int) -> None:
         if self.cwnd < self.ssthresh:
@@ -317,6 +326,9 @@ class TcpSender:
         if self.completed:
             return
         self.stats.timeouts += 1
+        if self.telemetry is not None:
+            self.telemetry.on_timer(self, self.rto)
+            self.telemetry.on_cwnd(self, self.cwnd, 1.0, "rto")
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = 1.0
         self._dup_acks = 0
@@ -337,5 +349,9 @@ class TcpSender:
         self.completion_time = self.sim.now
         self._rto_timer.cancel()
         self.host.unregister_endpoint(self.flow_id)
+        if self.telemetry is not None:
+            self.telemetry.on_flow_complete(
+                self, self.completion_time - self.start_time
+            )
         if self.on_complete is not None:
             self.on_complete(self)

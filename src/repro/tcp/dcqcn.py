@@ -37,6 +37,7 @@ from ..sim.engine import Simulator, Timer
 from ..sim.network import Host
 from ..sim.packet import Ecn, Packet
 from ..sim.units import HEADER_SIZE, MSS, ms, us
+from ..telemetry.runtime import dataplane_telemetry
 
 __all__ = ["DcqcnSender", "DcqcnParams"]
 
@@ -140,6 +141,7 @@ class DcqcnSender:
         self._rto_timer = Timer(sim, self._on_rto)
         self._pacing_armed = False
 
+        self.telemetry = dataplane_telemetry()
         self.started = False
         self.completed = False
         self.start_time = -1.0
@@ -225,9 +227,12 @@ class DcqcnSender:
         self._last_cnp_time = now
         self.cnps_received += 1
         self.rt = self.rc
+        old_rc = self.rc
         self.rc = max(self.rc * (1.0 - self.alpha / 2.0), self.params.min_rate)
         self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g
         self._recovery_round = 0
+        if self.telemetry is not None:
+            self.telemetry.on_rate(self, old_rc, self.rc, "cnp-cut")
 
     def _alpha_decay(self) -> None:
         if self.completed:
@@ -243,7 +248,10 @@ class DcqcnSender:
         if self._recovery_round > self.params.fast_recovery_rounds:
             # Additive increase stage: push the target up, then converge.
             self.rt = min(self.rt + self.params.rai, self.line_rate)
+        old_rc = self.rc
         self.rc = min((self.rt + self.rc) / 2.0, self.line_rate)
+        if self.telemetry is not None and self.rc != old_rc:
+            self.telemetry.on_rate(self, old_rc, self.rc, "increase")
         self._increase_timer.restart(self.params.increase_timer)
 
     # ----------------------------------------------------------- reliability
@@ -252,6 +260,8 @@ class DcqcnSender:
         if self.completed:
             return
         self.timeouts += 1
+        if self.telemetry is not None:
+            self.telemetry.on_timer(self, max(self.min_rto, ms(1)) * 2)
         # Go-back-N from the cumulative ACK point (the RoCE NACK analogue).
         self.retransmissions += self.send_next - self.highest_acked
         self.send_next = self.highest_acked
@@ -267,5 +277,9 @@ class DcqcnSender:
         self._alpha_timer.cancel()
         self._increase_timer.cancel()
         self.host.unregister_endpoint(self.flow_id)
+        if self.telemetry is not None:
+            self.telemetry.on_flow_complete(
+                self, self.completion_time - self.start_time
+            )
         if self.on_complete is not None:
             self.on_complete(self)

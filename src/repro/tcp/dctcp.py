@@ -62,6 +62,8 @@ class DctcpSender(TcpSender):
         # roughly one RTT of growth past the marking threshold.
         if self.highest_acked + newly_acked > self._cwr_point:
             reduced = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+            if self.telemetry is not None:
+                self.telemetry.on_cwnd(self, self.cwnd, reduced, "dctcp-cwr")
             self.ssthresh = max(reduced, 2.0)
             self.cwnd = reduced
             self._cwr_point = self.send_next

@@ -27,5 +27,8 @@ class RenoSender(TcpSender):
         self.stats.ecn_signals += 1
         if self.highest_acked + newly_acked <= self._cwr_point:
             return  # already reduced for this window of data
+        old_cwnd = self.cwnd
         self._halve_window()
+        if self.telemetry is not None:
+            self.telemetry.on_cwnd(self, old_cwnd, self.cwnd, "ecn-halve")
         self._cwr_point = self.send_next

@@ -1,0 +1,67 @@
+"""Process-wide active-telemetry context.
+
+The simulator, ports, AQMs and transports are constructed deep inside the
+figure runners, far from where a CLI flag or a test decides to observe a
+run.  Rather than threading a telemetry handle through every constructor,
+objects pick up the *active* telemetry at construction time:
+
+    with activate(Telemetry(trace=True)) as tel:
+        result = run_star_fct(...)   # every port/sender built here reports
+    tel.recorder.export_jsonl("trace.jsonl")
+
+When nothing is active (the default), instrumented objects hold ``None``
+and every hot-path hook short-circuits on a single attribute check --
+no event object, no dict lookup, nothing is built.
+
+This module is imported by ``repro.sim`` and must therefore stay free of
+imports from the rest of the package (the facade lives in
+:mod:`repro.telemetry.hub`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hub import Telemetry
+
+__all__ = ["activate", "get_active", "set_active", "dataplane_telemetry"]
+
+_active: Optional["Telemetry"] = None
+
+
+def get_active() -> Optional["Telemetry"]:
+    """The currently active telemetry, or None."""
+    return _active
+
+
+def set_active(telemetry: Optional["Telemetry"]) -> Optional["Telemetry"]:
+    """Install ``telemetry`` as active; returns the previous one."""
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous
+
+
+def dataplane_telemetry() -> Optional["Telemetry"]:
+    """Active telemetry *if* it wants per-packet instrumentation.
+
+    Ports, AQMs and senders attach this at construction; a profiler-only
+    telemetry (the CLI default) returns None here so the per-packet hot
+    paths keep their bare-loop cost.
+    """
+    telemetry = _active
+    if telemetry is not None and telemetry.instruments_dataplane:
+        return telemetry
+    return None
+
+
+@contextmanager
+def activate(telemetry: "Telemetry") -> Iterator["Telemetry"]:
+    """Context manager: make ``telemetry`` active for the enclosed block."""
+    previous = set_active(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_active(previous)

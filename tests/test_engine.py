@@ -104,6 +104,41 @@ class TestRunControl:
         sim.run()
         assert sim.events_processed == 5
 
+    def test_events_processed_is_live_mid_run(self, sim):
+        observed = []
+        for index in range(4):
+            sim.schedule(0.1 * (index + 1), lambda: observed.append(sim.events_processed))
+        sim.run()
+        # Each callback sees the count of *prior* dispatches, not a value
+        # batched in at the end of run().
+        assert observed == [0, 1, 2, 3]
+        assert sim.events_processed == 4
+
+    def test_events_processed_accumulates_across_runs(self, sim):
+        for index in range(6):
+            sim.schedule(0.1 * (index + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        sim.run(max_events=2)
+        assert sim.events_processed == 4
+        sim.run()
+        assert sim.events_processed == 6
+
+    def test_profiler_attach_and_record(self, sim):
+        from repro.telemetry import RunProfiler
+
+        assert sim.profiler is None  # no active telemetry in tests
+        profiler = RunProfiler()
+        sim.profiler = profiler
+        for index in range(8):
+            sim.schedule(0.1 * (index + 1), lambda: None)
+        sim.run(max_events=5)
+        sim.run()
+        assert profiler.runs == 2
+        assert profiler.events == 8
+        assert profiler.peak_heap_depth >= 1
+        assert profiler.virtual_seconds == pytest.approx(0.8)
+
     def test_run_until_idle_drains(self, sim):
         count = []
 

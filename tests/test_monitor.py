@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.monitor import DropTracer, QueueMonitor
+from repro.sim.monitor import DropTracer, QueueMonitor, QueueSample
 from repro.sim.port import Port
 from repro.sim.units import gbps, us
 
@@ -67,6 +67,37 @@ class TestQueueMonitor:
         sim.run(until=us(200))
         assert monitor.average_packets() == 0.0
         assert monitor.max_packets() == 0
+        assert monitor.percentile(99) == 0.0
+
+    def test_series_bytes_matches_samples(self, sim):
+        port = make_port(sim)
+        for seq in range(5):
+            port.send(make_packet(seq=seq))
+        monitor = QueueMonitor(sim, port, interval=us(1), stop=us(3))
+        sim.run(until=us(10))
+        times, byte_counts = monitor.series_bytes()
+        assert times == monitor.series()[0]
+        assert byte_counts == [s.bytes for s in monitor.samples]
+        assert byte_counts[0] == 4 * 1500  # 5 sent, 1 serializing
+
+    def test_percentile_nearest_rank(self, sim):
+        port = make_port(sim)
+        monitor = QueueMonitor(sim, port, interval=us(1))
+        monitor.samples[:] = [
+            QueueSample(float(i), packets, packets * 1500)
+            for i, packets in enumerate([1, 2, 3, 4, 10])
+        ]
+        assert monitor.percentile(50) == 3.0
+        assert monitor.percentile(0) == 1.0  # nearest-rank floor: rank 1
+        assert monitor.percentile(100) == 10.0
+        assert monitor.percentile(95, bytes_=True) == 15_000.0
+        assert monitor.percentiles() == {50.0: 3.0, 95.0: 10.0, 99.0: 10.0}
+
+    def test_percentile_rejects_out_of_range(self, sim):
+        port = make_port(sim)
+        monitor = QueueMonitor(sim, port, interval=us(1))
+        with pytest.raises(ValueError):
+            monitor.percentile(101)
 
 
 class TestDropTracer:
@@ -87,3 +118,25 @@ class TestDropTracer:
         port.send(make_packet())
         sim.run()
         assert tracer.total == 0
+
+    def test_chains_prior_on_drop_callback(self, sim):
+        port = make_port(sim, buffer_bytes=1500)
+        seen = []
+        port.on_drop = lambda packet, reason: seen.append((packet.seq, reason))
+        tracer = DropTracer(port)
+        for seq in range(3):
+            port.send(make_packet(seq=seq))
+        sim.run()
+        # Both the pre-existing callback and the tracer observed every drop.
+        assert tracer.total >= 1
+        assert len(seen) == tracer.total
+        assert all(reason == "overflow" for _, reason in seen)
+
+    def test_two_tracers_coexist(self, sim):
+        port = make_port(sim, buffer_bytes=1500)
+        first = DropTracer(port)
+        second = DropTracer(port)
+        for seq in range(3):
+            port.send(make_packet(seq=seq))
+        sim.run()
+        assert first.total == second.total >= 1
