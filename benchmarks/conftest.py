@@ -13,6 +13,7 @@ import pathlib
 
 import pytest
 
+from repro.experiments.executor import Executor, set_default_executor
 from repro.experiments.runner import Scale
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -22,6 +23,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def scale() -> Scale:
     """Run-size knobs (reduced by default, REPRO_FULL=1 for paper scale)."""
     return Scale.from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def executor():
+    """Experiment executor for the whole bench session.
+
+    ``REPRO_JOBS=N`` parallelizes every figure's run grid; setting
+    ``REPRO_CACHE_DIR`` additionally memoizes completed cells on disk so a
+    re-run only re-simulates what changed.  Installed as the process
+    default, so the figure modules pick it up without plumbing.
+    """
+    executor = Executor.from_env()
+    previous = set_default_executor(executor)
+    yield executor
+    set_default_executor(previous)
 
 
 @pytest.fixture

@@ -1,0 +1,163 @@
+"""DES hot-path microbenchmark: serial dispatch rate and sweep speedup.
+
+Measures the two numbers the executor/engine optimization work is judged
+against, and writes them to ``BENCH_engine.json``:
+
+* ``engine.events_per_sec`` -- raw event-loop dispatch throughput of
+  :class:`repro.sim.engine.Simulator` (no profiler, ``max_events`` budget,
+  i.e. the exact loop experiment runs sit in);
+* ``sweep.speedup`` -- wall-clock ratio of a small star-FCT spec grid run
+  serially (``jobs=1``) versus through the parallel executor.
+
+Usage::
+
+    python benchmarks/perf_engine.py [--jobs N] [--events N] [--out PATH]
+
+Not a pytest module on purpose: perf numbers belong in a JSON artifact,
+not in an assertion.  Run it on a quiet machine; the sweep speedup is only
+meaningful with >= 2 physical cores (the JSON records ``cpu_count`` so a
+1-core CI result is not mistaken for a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.executor import Executor  # noqa: E402
+from repro.experiments.specs import AqmSpec, RunSpec  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.units import us  # noqa: E402
+from repro.telemetry.provenance import git_sha  # noqa: E402
+
+N_SOURCES = 64
+"""Concurrent event sources; keeps the heap at a realistic depth."""
+
+
+def bench_engine(n_events: int, repeats: int = 3) -> dict:
+    """Best-of-N dispatch rate of the bare event loop (events/second)."""
+
+    def one_round() -> float:
+        sim = Simulator()
+
+        def tick(delay: float) -> None:
+            sim.schedule(delay, tick, delay)
+
+        for index in range(N_SOURCES):
+            sim.schedule(index * 1e-7 + 1e-6, tick, 1e-6 + index * 1e-9)
+        start = time.perf_counter()
+        sim.run(max_events=n_events)
+        elapsed = time.perf_counter() - start
+        assert sim.events_processed == n_events
+        return elapsed
+
+    best = min(one_round() for _ in range(repeats))
+    return {
+        "events": n_events,
+        "repeats": repeats,
+        "best_wall_seconds": best,
+        "events_per_sec": n_events / best,
+    }
+
+
+def sweep_specs(n_flows: int) -> list:
+    """A small but representative grid: 2 schemes x 2 loads x 2 seeds."""
+    schemes = {
+        "DCTCP-RED-Tail": AqmSpec.make("sojourn-red", sojourn=us(204.8)),
+        "ECN#": AqmSpec.make(
+            "ecn-sharp", ins_target=us(200), pst_target=us(85), pst_interval=us(200)
+        ),
+    }
+    return [
+        RunSpec.star(
+            aqm,
+            workload="web-search",
+            load=load,
+            n_flows=n_flows,
+            seed=seed,
+            label=name,
+            variation=3.0,
+            rtt_min=us(70),
+        )
+        for name, aqm in schemes.items()
+        for load in (0.4, 0.7)
+        for seed in (3, 4)
+    ]
+
+
+def bench_sweep(jobs: int, n_flows: int) -> dict:
+    """Serial vs parallel wall time over the same spec grid (no cache)."""
+    specs = sweep_specs(n_flows)
+
+    start = time.perf_counter()
+    serial = Executor(jobs=1).run(specs)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Executor(jobs=jobs).run(specs)
+    parallel_seconds = time.perf_counter() - start
+
+    for a, b in zip(serial, parallel):
+        if a.summary != b.summary:
+            raise AssertionError("parallel sweep diverged from serial run")
+    return {
+        "runs": len(specs),
+        "n_flows": n_flows,
+        "events": sum(r.events for r in serial),
+        "jobs": jobs,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=2_000_000,
+                        help="dispatches for the event-loop benchmark")
+    parser.add_argument("--flows", type=int, default=60,
+                        help="flows per sweep cell")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: min(4, cpus))")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(4, cpus)
+
+    print(f"# engine dispatch: {args.events:,} events x3 ...", flush=True)
+    engine = bench_engine(args.events)
+    print(f"#   {engine['events_per_sec']:,.0f} events/sec")
+
+    print(f"# sweep: 8 star runs, jobs=1 vs jobs={jobs} ...", flush=True)
+    sweep = bench_sweep(jobs, args.flows)
+    print(
+        f"#   serial {sweep['serial_seconds']:.2f}s, "
+        f"parallel {sweep['parallel_seconds']:.2f}s, "
+        f"speedup {sweep['speedup']:.2f}x on {cpus} cpu(s)"
+    )
+
+    payload = {
+        "cpu_count": cpus,
+        "python": sys.version.split()[0],
+        "git_sha": git_sha(),
+        "unix_time": time.time(),
+        "engine": engine,
+        "sweep": sweep,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"# written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

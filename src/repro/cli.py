@@ -5,11 +5,17 @@ Usage::
     python -m repro list
     python -m repro run table1
     python -m repro run fig6 --full
+    python -m repro run fig6 --jobs 4
     python -m repro run fig11 --seed 7
     python -m repro run fig10 --trace --trace-out t.jsonl --metrics-out m.json
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
-experiments accept a ``--seed`` for reproducibility.
+experiments accept a ``--seed`` for reproducibility.  ``--jobs N`` (or
+``REPRO_JOBS=N``) fans the experiment's run grid across N worker processes;
+results are bit-identical to ``--jobs 1``.  Completed cells are memoized
+under ``~/.cache/repro`` (``--cache-dir``/``REPRO_CACHE_DIR`` to move it,
+``--no-cache`` to bypass), so re-rendering a figure skips the simulations
+it has already run.
 
 Every run prints a ``# profile:`` line (events dispatched, events/second,
 wall seconds per virtual second, peak heap depth) -- the perf baseline
@@ -41,6 +47,11 @@ from .experiments.figures import (
     fig12,
     fig13,
     table1,
+)
+from .experiments.executor import (
+    Executor,
+    default_cache_dir,
+    set_default_executor,
 )
 from .experiments.report import format_manifest, format_trace_summary
 from .experiments.runner import Scale
@@ -165,6 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=None, help="override the seed")
     run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the run grid (default: REPRO_JOBS or 1; "
+        "1 executes in-process)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate, ignoring and not writing the result cache",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    run.add_argument(
         "--trace",
         action="store_true",
         help="record a flight-recorder event trace of the run",
@@ -220,6 +250,20 @@ def main(argv: Optional[list] = None) -> int:
     scale = Scale.paper() if args.full else Scale.from_env()
     seed = args.seed if args.seed is not None else _DEFAULT_SEEDS[args.experiment]
 
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    jobs = args.jobs
+    if jobs is None:
+        raw_jobs = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = max(1, int(raw_jobs)) if raw_jobs else 1
+        except ValueError:
+            parser.error(f"REPRO_JOBS={raw_jobs!r} is not an integer")
+    cache_dir = args.cache_dir or default_cache_dir()
+    executor = Executor(
+        jobs=jobs, cache=not args.no_cache, cache_dir=cache_dir
+    )
+
     trace_enabled = (
         args.trace or args.trace_out is not None or args.trace_categories is not None
     )
@@ -258,14 +302,24 @@ def main(argv: Optional[list] = None) -> int:
 
     print(f"# {description} (seed={seed}, {'full' if scale.full else 'reduced'} scale)")
     started = time.time()
-    with activate(telemetry):
-        print(runner(scale, seed))
+    previous_executor = set_default_executor(executor)
+    try:
+        with activate(telemetry):
+            print(runner(scale, seed))
+    finally:
+        set_default_executor(previous_executor)
     wall = time.time() - started
-    manifest.finish(
-        wall_seconds=wall,
-        events=telemetry.profiler.events if telemetry.profiler else None,
-    )
+    events = telemetry.profiler.events if telemetry.profiler else None
+    if not events and telemetry.manifests:
+        # Worker-process / cache-replay runs dispatch no events in this
+        # process; their registered manifests carry the real counts.
+        events = sum(m.events or 0 for m in telemetry.manifests) or None
+    manifest.finish(wall_seconds=wall, events=events)
     print(f"# completed in {wall:.1f}s")
+    print(
+        f"# executor: jobs={executor.jobs} {executor.stats.merge_line()} "
+        f"cache={'off' if executor.cache is None else executor.cache.directory}"
+    )
     if telemetry.profiler is not None:
         print(f"# {telemetry.profiler.summary_line()}")
     print(f"# {format_manifest(manifest)}")

@@ -1,5 +1,13 @@
 """Experiment harness: FCT metrics, runners, and per-figure entry points."""
 
+from .executor import (
+    Executor,
+    ResultCache,
+    get_default_executor,
+    run_grid,
+    seed_specs,
+    set_default_executor,
+)
 from .fct import (
     LARGE_FLOW_MIN,
     SHORT_FLOW_MAX,
@@ -19,9 +27,12 @@ from .runner import (
 from .schemes import (
     SCHEME_ORDER,
     bytes_to_sojourn,
+    simulation_scheme_specs,
     simulation_schemes,
+    testbed_scheme_specs,
     testbed_schemes,
 )
+from .specs import AqmSpec, RunSpec
 
 __all__ = [
     "LARGE_FLOW_MIN",
@@ -39,5 +50,15 @@ __all__ = [
     "SCHEME_ORDER",
     "bytes_to_sojourn",
     "simulation_schemes",
+    "simulation_scheme_specs",
     "testbed_schemes",
+    "testbed_scheme_specs",
+    "AqmSpec",
+    "RunSpec",
+    "Executor",
+    "ResultCache",
+    "get_default_executor",
+    "set_default_executor",
+    "run_grid",
+    "seed_specs",
 ]

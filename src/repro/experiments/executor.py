@@ -1,0 +1,350 @@
+"""Parallel experiment executor with an on-disk result cache.
+
+The paper's figures are grids of independent, seed-deterministic DES runs
+(scheme x load/threshold/fanout x seed).  This module fans a list of
+:class:`~repro.experiments.specs.RunSpec` cells across worker processes and
+memoizes each cell's result on disk, so that
+
+* a sweep saturates the machine instead of one core (``--jobs N`` /
+  ``REPRO_JOBS=N``), and
+* re-rendering a figure replays completed cells from the cache instead of
+  re-simulating them (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+
+Determinism guarantee: every run owns its own
+:class:`~repro.sim.engine.Simulator` and ``numpy.random.default_rng(seed)``,
+so the same spec produces bit-identical results with ``jobs=1``, ``jobs=N``
+or from a warm cache.  Workers are started with the *spawn* method and the
+worker entry point is a module-level function, so no closure, simulator or
+telemetry state leaks across the process boundary.
+
+``jobs=1`` (the default) executes in-process -- tests and library callers
+stay single-process unless parallelism is requested explicitly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .specs import RunSpec, resolve_workload, stable_hash
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ExecutorStats",
+    "Executor",
+    "ResultCache",
+    "default_cache_dir",
+    "execute_spec",
+    "get_default_executor",
+    "set_default_executor",
+    "seed_specs",
+    "run_grid",
+]
+
+CACHE_SCHEMA_VERSION = 1
+"""Bump when simulation semantics change in a way that invalidates cached
+results without changing the spec encoding (part of every cache key)."""
+
+
+def _code_tag() -> str:
+    """Code-relevant version tag mixed into every cache key."""
+    from .. import __version__
+
+    return f"{__version__}/schema{CACHE_SCHEMA_VERSION}"
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+# --------------------------------------------------------------- execution
+
+
+def execute_spec(spec: RunSpec) -> Any:
+    """Run one spec to completion and return its result.
+
+    Module-level (spawn-safe) dispatch over the spec's topology kind.  The
+    rig modules are imported lazily: this module is imported by every figure
+    module, and the microscopic/scheduler rigs live in figure modules.
+    """
+    aqm_factory = spec.aqm.build
+    kwargs: Dict[str, Any] = dict(spec.extras)
+    if spec.kind in ("star", "leafspine"):
+        from .runner import run_leafspine_fct, run_star_fct
+        from ..workloads.arrivals import TransportConfig
+
+        for name, value in (
+            ("variation", spec.variation),
+            ("rtt_min", spec.rtt_min),
+            ("rtt_shape", spec.rtt_shape),
+        ):
+            if value is not None:
+                kwargs[name] = value
+        if spec.transport:
+            kwargs["transport"] = TransportConfig(**dict(spec.transport))
+        run = run_star_fct if spec.kind == "star" else run_leafspine_fct
+        return run(
+            aqm_factory,
+            workload=resolve_workload(spec.workload),
+            load=spec.load,
+            n_flows=spec.n_flows,
+            seed=spec.seed,
+            **kwargs,
+        )
+    if spec.kind == "microscopic":
+        from .figures.fig10 import run_microscopic
+
+        return run_microscopic(
+            aqm_factory,
+            scheme_name=spec.label or spec.aqm.kind,
+            seed=spec.seed,
+            **kwargs,
+        )
+    if spec.kind == "scheduler":
+        from .figures.fig13 import run_scheduler_experiment
+
+        return run_scheduler_experiment(
+            aqm_factory,
+            scheme_name=spec.label or spec.aqm.kind,
+            seed=spec.seed,
+            **kwargs,
+        )
+    raise ValueError(f"unknown RunSpec kind {spec.kind!r}")
+
+
+# ------------------------------------------------------------------ cache
+
+
+class ResultCache:
+    """Pickle-per-cell result store keyed by spec hash + code version tag.
+
+    Layout: ``<dir>/<key>.pkl`` where ``key`` hashes the spec's canonical
+    JSON together with the package version and cache schema version, so a
+    release or an explicit :data:`CACHE_SCHEMA_VERSION` bump invalidates
+    every stale entry at once.  Writes are atomic (temp file + rename);
+    unreadable entries degrade to cache misses.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def key(self, spec: RunSpec) -> str:
+        return stable_hash({"spec": spec.to_dict(), "code": _code_tag()})
+
+    def path(self, spec: RunSpec) -> Path:
+        return self.directory / f"{self.key(spec)}.pkl"
+
+    def load(self, spec: RunSpec) -> Optional[Any]:
+        path = self.path(spec)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if entry.get("spec") != spec.to_dict():
+            return None  # hash collision or corrupted entry
+        return entry.get("result")
+
+    def store(self, spec: RunSpec, result: Any) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"spec": spec.to_dict(), "code": _code_tag(), "result": result}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path(spec))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------- executor
+
+
+@dataclass
+class ExecutorStats:
+    """Work accounting for one :class:`Executor` (cumulative)."""
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def merge_line(self) -> str:
+        return (
+            f"specs={self.submitted} executed={self.executed} "
+            f"cache_hits={self.cache_hits}"
+        )
+
+
+class Executor:
+    """Fans run specs across processes, memoizing results on disk.
+
+    ``jobs=1`` executes in-process (no pool, no pickling); ``jobs>1`` uses a
+    spawn-context :class:`ProcessPoolExecutor`.  Results always come back in
+    submission order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[Path] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache else None
+        )
+        self.stats = ExecutorStats()
+
+    @classmethod
+    def from_env(cls) -> "Executor":
+        """``REPRO_JOBS`` sets the worker count (default 1, in-process);
+        the cache activates only when ``REPRO_CACHE_DIR`` names a directory,
+        so plain test runs never touch ``~/.cache``."""
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = max(1, int(raw)) if raw else 1
+        except ValueError:
+            jobs = 1
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        return cls(jobs=jobs, cache=bool(cache_dir),
+                   cache_dir=Path(cache_dir) if cache_dir else None)
+
+    def run(self, specs: Sequence[RunSpec]) -> List[Any]:
+        """Execute every spec (cache, then workers) in submission order."""
+        specs = list(specs)
+        self.stats.submitted += len(specs)
+        results: List[Any] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.load(spec) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+                self._register_manifest(cached)
+            else:
+                pending.append(index)
+
+        if not pending:
+            return results
+        self.stats.executed += len(pending)
+        if self.jobs == 1 or len(pending) == 1:
+            for index in pending:
+                result = execute_spec(specs[index])
+                results[index] = result
+                if self.cache:
+                    self.cache.store(specs[index], result)
+        else:
+            self._run_pool(specs, pending, results)
+        return results
+
+    def _run_pool(
+        self, specs: Sequence[RunSpec], pending: List[int], results: List[Any]
+    ) -> None:
+        context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(execute_spec, specs[index]): index for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    result = future.result()
+                    results[index] = result
+                    if self.cache:
+                        self.cache.store(specs[index], result)
+                    self._register_manifest(result)
+
+    @staticmethod
+    def _register_manifest(result: Any) -> None:
+        """Re-attach a worker/cache result's manifest to the parent's
+        telemetry, matching what an in-process run would have recorded."""
+        from ..telemetry.runtime import get_active
+
+        manifest = getattr(result, "manifest", None)
+        if manifest is None:
+            return
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.add_manifest(manifest)
+
+
+# ------------------------------------------------------- process default
+
+_default_executor: Optional[Executor] = None
+
+
+def get_default_executor() -> Executor:
+    """The executor used when a figure/runner is not handed one explicitly.
+
+    Lazily built from the environment (``REPRO_JOBS``/``REPRO_CACHE_DIR``)
+    on first use; the CLI and the benchmark harness install their own via
+    :func:`set_default_executor`.
+    """
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = Executor.from_env()
+    return _default_executor
+
+
+def set_default_executor(executor: Optional[Executor]) -> Optional[Executor]:
+    """Install ``executor`` as the process default; returns the previous
+    one (pass it back to restore)."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+# ------------------------------------------------------------ grid helpers
+
+
+def seed_specs(spec: RunSpec, n_seeds: int) -> List[RunSpec]:
+    """The pooled-seed expansion of one cell: seed, seed+1, ..."""
+    if n_seeds <= 0:
+        raise ValueError("n_seeds must be positive")
+    return [spec.with_seed(spec.seed + offset) for offset in range(n_seeds)]
+
+
+def run_grid(
+    cells: Sequence[Sequence[RunSpec]],
+    executor: Optional[Executor] = None,
+    pool: Optional[Callable[[Sequence[Any]], Any]] = None,
+) -> List[Any]:
+    """Flatten a grid of per-cell spec lists, execute everything through
+    one executor pass (maximal parallelism), and pool each cell's results.
+
+    ``pool`` defaults to :func:`repro.experiments.runner.pool_results`, the
+    paper's average-of-N-seeds methodology.
+    """
+    executor = executor or get_default_executor()
+    if pool is None:
+        from .runner import pool_results
+
+        pool = pool_results
+    flat: List[RunSpec] = [spec for cell in cells for spec in cell]
+    results = executor.run(flat)
+    pooled: List[Any] = []
+    cursor = 0
+    for cell in cells:
+        pooled.append(pool(results[cursor:cursor + len(cell)]))
+        cursor += len(cell)
+    return pooled

@@ -28,7 +28,6 @@ from ...workloads.incast import launch_query
 from ..fct import FctCollector
 from ..report import format_table
 from ..runner import estimate_star_network_rtt
-from ..schemes import simulation_schemes
 
 __all__ = ["Fig10Result", "MicroscopicRun", "run_microscopic", "run_fig10", "render"]
 
@@ -177,14 +176,22 @@ def run_fig10(
     fanout: int = 100,
     seed: int = 51,
     schemes: Tuple[str, ...] = DEFAULT_SCHEMES,
+    executor=None,
 ) -> Fig10Result:
     """Run the microscopic trace for each scheme at one fanout."""
-    factories = simulation_schemes()
-    runs: Dict[str, MicroscopicRun] = {}
-    for name in schemes:
-        runs[name] = run_microscopic(
-            factories[name], scheme_name=name, fanout=fanout, seed=seed
+    from ..executor import get_default_executor
+    from ..schemes import simulation_scheme_specs
+    from ..specs import RunSpec
+
+    scheme_specs = simulation_scheme_specs()
+    specs = [
+        RunSpec.microscopic(
+            scheme_specs[name], seed=seed, label=name, fanout=fanout
         )
+        for name in schemes
+    ]
+    executor = executor or get_default_executor()
+    runs: Dict[str, MicroscopicRun] = dict(zip(schemes, executor.run(specs)))
     return Fig10Result(runs=runs, fanout=fanout, burst_time=ms(20))
 
 

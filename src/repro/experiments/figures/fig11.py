@@ -14,9 +14,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..executor import Executor, get_default_executor
 from ..report import fmt_opt, format_table
-from ..schemes import simulation_schemes
-from .fig10 import MicroscopicRun, run_microscopic
+from ..schemes import simulation_scheme_specs
+from ..specs import RunSpec
+from .fig10 import MicroscopicRun
 
 __all__ = ["Fig11Result", "run_fig11", "render", "DEFAULT_FANOUTS"]
 
@@ -50,16 +52,21 @@ def run_fig11(
     fanouts: Tuple[int, ...] = DEFAULT_FANOUTS,
     schemes: Tuple[str, ...] = DEFAULT_SCHEMES,
     seed: int = 61,
+    executor: Optional[Executor] = None,
 ) -> Fig11Result:
-    """Run the fanout sweep for every scheme."""
-    factories = simulation_schemes()
-    runs: Dict[int, Dict[str, MicroscopicRun]] = {}
-    for fanout in fanouts:
-        runs[fanout] = {}
-        for name in schemes:
-            runs[fanout][name] = run_microscopic(
-                factories[name], scheme_name=name, fanout=fanout, seed=seed
-            )
+    """Run the fanout sweep for every scheme (one executor pass)."""
+    scheme_specs = simulation_scheme_specs()
+    keys = [(fanout, name) for fanout in fanouts for name in schemes]
+    specs = [
+        RunSpec.microscopic(
+            scheme_specs[name], seed=seed, label=name, fanout=fanout
+        )
+        for fanout, name in keys
+    ]
+    executor = executor or get_default_executor()
+    runs: Dict[int, Dict[str, MicroscopicRun]] = {fanout: {} for fanout in fanouts}
+    for (fanout, name), run in zip(keys, executor.run(specs)):
+        runs[fanout][name] = run
     return Fig11Result(fanouts=fanouts, schemes=schemes, runs=runs)
 
 

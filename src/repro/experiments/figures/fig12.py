@@ -11,14 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ...core.ecn_sharp import EcnSharp, EcnSharpConfig
 from ...sim.units import us
 from ...workloads.datamining import DATA_MINING
 from ...workloads.distributions import EmpiricalCdf
 from ...workloads.websearch import WEB_SEARCH
-from ..fct import FctSummary
+from ..executor import Executor, run_grid, seed_specs
 from ..report import fmt_ratio, format_table
-from ..runner import run_star_fct_pooled
+from ..specs import AqmSpec, RunSpec
 
 __all__ = ["Fig12Result", "run_fig12", "render"]
 
@@ -37,41 +36,46 @@ class Fig12Result:
 
     def interval_spread(self, workload: str) -> Optional[float]:
         """(max - min) / min of overall FCT across the interval sweep."""
-        values = [v for v in self.interval_fct[workload].values() if v]
-        if not values:
-            return None
-        return (max(values) - min(values)) / min(values)
+        return _spread(self.interval_fct[workload].values())
 
     def target_spread(self, workload: str) -> Optional[float]:
-        values = [v for v in self.target_fct[workload].values() if v]
-        if not values:
-            return None
-        return (max(values) - min(values)) / min(values)
+        return _spread(self.target_fct[workload].values())
 
 
-def _sweep(
+def _spread(values) -> Optional[float]:
+    """(max - min) / min over the non-missing values (0.0 is legitimate)."""
+    present = [v for v in values if v is not None]
+    if not present or min(present) == 0:
+        return None
+    return (max(present) - min(present)) / min(present)
+
+
+def _sweep_specs(
     workload: EmpiricalCdf,
-    configs: List[Tuple[float, EcnSharpConfig]],
+    configs: List[Tuple[float, AqmSpec]],
     load: float,
     n_flows: int,
     seed: int,
     rtt_min: float,
-    n_seeds: int = 2,
-) -> Dict[float, Optional[float]]:
-    out: Dict[float, Optional[float]] = {}
-    for key, config in configs:
-        result = run_star_fct_pooled(
-            aqm_factory=lambda c=config: EcnSharp(c),
-            workload=workload,
-            load=load,
-            n_flows=n_flows,
-            seed=seed,
-            n_seeds=n_seeds,
-            variation=3.0,
-            rtt_min=rtt_min,
+    n_seeds: int,
+    panel: str,
+) -> List[List[RunSpec]]:
+    return [
+        seed_specs(
+            RunSpec.star(
+                aqm,
+                workload=workload.name,
+                load=load,
+                n_flows=n_flows,
+                seed=seed,
+                label=f"ECN# {panel}={key:g}us",
+                variation=3.0,
+                rtt_min=rtt_min,
+            ),
+            n_seeds,
         )
-        out[key] = result.summary.overall_avg
-    return out
+        for key, aqm in configs
+    ]
 
 
 def run_fig12(
@@ -81,29 +85,61 @@ def run_fig12(
     seed: int = 71,
     intervals_us: Tuple[float, ...] = DEFAULT_INTERVALS_US,
     targets_us: Tuple[float, ...] = DEFAULT_TARGETS_US,
+    n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> Fig12Result:
-    """Sweep pst_interval and pst_target on both workloads."""
+    """Sweep pst_interval and pst_target on both workloads (one grid)."""
     workloads = {"web-search": (WEB_SEARCH, n_flows_web), "data-mining": (DATA_MINING, n_flows_mining)}
 
-    interval_fct: Dict[str, Dict[float, Optional[float]]] = {}
-    target_fct: Dict[str, Dict[float, Optional[float]]] = {}
+    keys: List[Tuple[str, str, float]] = []
+    cells: List[List[RunSpec]] = []
     for name, (workload, n_flows) in workloads.items():
         # Panel (a): testbed-style parameters (70-210 us band), interval sweep.
         interval_configs = [
-            (value, EcnSharpConfig(us(200), us(85), us(value)))
+            (
+                value,
+                AqmSpec.make(
+                    "ecn-sharp",
+                    ins_target=us(200),
+                    pst_target=us(85),
+                    pst_interval=us(value),
+                ),
+            )
             for value in intervals_us
         ]
-        interval_fct[name] = _sweep(
-            workload, interval_configs, load, n_flows, seed, rtt_min=us(70)
+        keys.extend((name, "interval", value) for value in intervals_us)
+        cells.extend(
+            _sweep_specs(workload, interval_configs, load, n_flows, seed,
+                         us(70), n_seeds, "pst_interval")
         )
         # Panel (b): simulation-style parameters (80-240 us band), target sweep.
         target_configs = [
-            (value, EcnSharpConfig(us(220), us(value), us(240)))
+            (
+                value,
+                AqmSpec.make(
+                    "ecn-sharp",
+                    ins_target=us(220),
+                    pst_target=us(value),
+                    pst_interval=us(240),
+                ),
+            )
             for value in targets_us
         ]
-        target_fct[name] = _sweep(
-            workload, target_configs, load, n_flows, seed, rtt_min=us(80)
+        keys.extend((name, "target", value) for value in targets_us)
+        cells.extend(
+            _sweep_specs(workload, target_configs, load, n_flows, seed,
+                         us(80), n_seeds, "pst_target")
         )
+
+    interval_fct: Dict[str, Dict[float, Optional[float]]] = {
+        name: {} for name in workloads
+    }
+    target_fct: Dict[str, Dict[float, Optional[float]]] = {
+        name: {} for name in workloads
+    }
+    for (name, panel, value), result in zip(keys, run_grid(cells, executor)):
+        out = interval_fct if panel == "interval" else target_fct
+        out[name][value] = result.summary.overall_avg
     return Fig12Result(
         intervals_us=intervals_us,
         targets_us=targets_us,
@@ -119,13 +155,13 @@ def render(result: Fig12Result) -> str:
         base = result.interval_fct[workload][result.intervals_us[-1]]
         for value in result.intervals_us:
             fct = result.interval_fct[workload][value]
-            ratio = (fct / base) if (fct and base) else None
+            ratio = (fct / base) if (fct is not None and base) else None
             rows.append([workload, f"pst_interval={value:.0f}us", fmt_ratio(ratio)])
     for workload in result.target_fct:
         base = result.target_fct[workload][result.targets_us[1]]
         for value in result.targets_us:
             fct = result.target_fct[workload][value]
-            ratio = (fct / base) if (fct and base) else None
+            ratio = (fct / base) if (fct is not None and base) else None
             rows.append([workload, f"pst_target={value:.0f}us", fmt_ratio(ratio)])
     table = format_table(
         ["workload", "setting", "overall FCT (normalized)"],

@@ -29,7 +29,6 @@ from ...topology.star import build_star
 from ...workloads.arrivals import TransportConfig
 from ..fct import FctCollector
 from ..report import fmt_opt, format_table
-from ..schemes import simulation_schemes
 
 __all__ = ["SchedulerRun", "Fig13Result", "run_scheduler_experiment", "run_fig13", "render"]
 
@@ -174,14 +173,20 @@ def run_scheduler_experiment(
     )
 
 
-def run_fig13(seed: int = 81, phase: float = ms(60)) -> Fig13Result:
-    """Run the DWRR experiment for ECN# and TCN."""
-    factories = simulation_schemes()
-    runs: Dict[str, SchedulerRun] = {}
-    for name in ("ECN#", "TCN"):
-        runs[name] = run_scheduler_experiment(
-            factories[name], scheme_name=name, seed=seed, phase=phase
-        )
+def run_fig13(seed: int = 81, phase: float = ms(60), executor=None) -> Fig13Result:
+    """Run the DWRR experiment for ECN# and TCN (both through the executor)."""
+    from ..executor import get_default_executor
+    from ..schemes import simulation_scheme_specs
+    from ..specs import RunSpec
+
+    scheme_specs = simulation_scheme_specs()
+    names = ("ECN#", "TCN")
+    specs = [
+        RunSpec.scheduler(scheme_specs[name], seed=seed, label=name, phase=phase)
+        for name in names
+    ]
+    executor = executor or get_default_executor()
+    runs: Dict[str, SchedulerRun] = dict(zip(names, executor.run(specs)))
     return Fig13Result(runs=runs)
 
 

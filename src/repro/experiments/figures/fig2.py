@@ -12,13 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ...core.red import SojournRed
 from ...sim.units import gbps, kb, us
 from ...workloads.websearch import WEB_SEARCH
+from ..executor import Executor, run_grid, seed_specs
 from ..fct import FctSummary
 from ..report import fmt_ratio, fmt_us, format_table
-from ..runner import run_star_fct_pooled
 from ..schemes import bytes_to_sojourn
+from ..specs import AqmSpec, RunSpec
 
 __all__ = ["Fig2Result", "run_fig2", "render", "DEFAULT_THRESHOLDS_KB"]
 
@@ -40,7 +40,9 @@ class Fig2Result:
         out: Dict[int, Optional[float]] = {}
         for threshold in self.thresholds_kb:
             value = getattr(self.summaries[threshold], field)
-            out[threshold] = (value / base) if (value and base) else None
+            # A legitimate 0.0 value must normalize to 0.0 -- only a
+            # missing/zero *base* makes the ratio undefined.
+            out[threshold] = (value / base) if (value is not None and base) else None
         return out
 
 
@@ -52,23 +54,37 @@ def run_fig2(
     variation: float = 3.0,
     rtt_min: float = us(70),
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> Fig2Result:
     """Run the threshold sweep (identical arrivals across thresholds,
-    pooled over ``n_seeds`` seeds as the paper averages runs)."""
-    summaries: Dict[int, FctSummary] = {}
-    for threshold in thresholds_kb:
-        sojourn = bytes_to_sojourn(kb(threshold), gbps(10))
-        result = run_star_fct_pooled(
-            aqm_factory=lambda s=sojourn: SojournRed(s),
-            workload=WEB_SEARCH,
-            load=load,
-            n_flows=n_flows,
-            seed=seed,
-            n_seeds=n_seeds,
-            variation=variation,
-            rtt_min=rtt_min,
+    pooled over ``n_seeds`` seeds as the paper averages runs).
+
+    The whole grid (threshold x seed) goes through the executor in one
+    pass, so ``--jobs N`` parallelizes across thresholds and seeds alike.
+    """
+    cells = [
+        seed_specs(
+            RunSpec.star(
+                AqmSpec.make(
+                    "sojourn-red", sojourn=bytes_to_sojourn(kb(threshold), gbps(10))
+                ),
+                workload=WEB_SEARCH.name,
+                load=load,
+                n_flows=n_flows,
+                seed=seed,
+                label=f"{threshold}KB",
+                variation=variation,
+                rtt_min=rtt_min,
+            ),
+            n_seeds,
         )
-        summaries[threshold] = result.summary
+        for threshold in thresholds_kb
+    ]
+    pooled = run_grid(cells, executor)
+    summaries: Dict[int, FctSummary] = {
+        threshold: result.summary
+        for threshold, result in zip(thresholds_kb, pooled)
+    }
     return Fig2Result(
         thresholds_kb=thresholds_kb,
         summaries=summaries,

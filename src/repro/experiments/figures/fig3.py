@@ -15,13 +15,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ...core.red import SojournRed
 from ...netem.profiles import RttProfile
 from ...sim.units import us
 from ...workloads.websearch import WEB_SEARCH
+from ..executor import Executor, run_grid, seed_specs
 from ..fct import FctSummary
 from ..report import fmt_ratio, format_table
-from ..runner import run_star_fct_pooled
+from ..specs import AqmSpec, RunSpec
 
 __all__ = ["Fig3Result", "run_fig3", "render", "DEFAULT_VARIATIONS"]
 
@@ -65,6 +65,7 @@ def run_fig3(
     rtt_min: float = us(70),
     large_min: int = 2_000_000,
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> Fig3Result:
     """Run the variation sweep.
 
@@ -72,30 +73,39 @@ def run_fig3(
     the throughput-sensitive statistic is populated at reduced flow counts
     (the ordering claims are insensitive to the cut point).
     """
-    avg_results: Dict[float, FctSummary] = {}
-    tail_results: Dict[float, FctSummary] = {}
     thresholds: Dict[float, Tuple[float, float]] = {}
     stats_rng = np.random.default_rng(seed + 1000)
+    cells = []
+    keys: List[Tuple[float, str]] = []
     for variation in variations:
         profile = RttProfile.from_variation(rtt_min, variation, shape="testbed")
         stats = profile.statistics(stats_rng, n=100_000)
         thresholds[variation] = (stats.mean * 1e6, stats.p90 * 1e6)
         for label, sojourn in (("avg", stats.mean), ("tail", stats.p90)):
-            result = run_star_fct_pooled(
-                aqm_factory=lambda s=sojourn: SojournRed(s),
-                workload=WEB_SEARCH,
-                load=load,
-                n_flows=n_flows,
-                seed=seed,
-                n_seeds=n_seeds,
-                variation=variation,
-                rtt_min=rtt_min,
+            keys.append((variation, label))
+            cells.append(
+                seed_specs(
+                    RunSpec.star(
+                        AqmSpec.make("sojourn-red", sojourn=sojourn),
+                        workload=WEB_SEARCH.name,
+                        load=load,
+                        n_flows=n_flows,
+                        seed=seed,
+                        label=f"{label}@{variation:g}x",
+                        variation=variation,
+                        rtt_min=rtt_min,
+                    ),
+                    n_seeds,
+                )
             )
-            summary = result.collector.summary(large_min=large_min)
-            if label == "avg":
-                avg_results[variation] = summary
-            else:
-                tail_results[variation] = summary
+    avg_results: Dict[float, FctSummary] = {}
+    tail_results: Dict[float, FctSummary] = {}
+    for (variation, label), result in zip(keys, run_grid(cells, executor)):
+        summary = result.collector.summary(large_min=large_min)
+        if label == "avg":
+            avg_results[variation] = summary
+        else:
+            tail_results[variation] = summary
     return Fig3Result(
         variations=variations,
         avg_threshold=avg_results,

@@ -19,10 +19,11 @@ from ...sim.units import us
 from ...workloads.datamining import DATA_MINING
 from ...workloads.distributions import EmpiricalCdf
 from ...workloads.websearch import WEB_SEARCH
+from ..executor import Executor, run_grid, seed_specs
 from ..fct import FctSummary, NormalizedFct
 from ..report import fmt_ratio, format_table
-from ..runner import run_star_fct_pooled
-from ..schemes import SCHEME_ORDER, testbed_schemes
+from ..schemes import SCHEME_ORDER, testbed_scheme_specs
+from ..specs import AqmSpec, RunSpec
 
 __all__ = ["FctVsLoadResult", "run_fct_vs_load", "run_fig6", "run_fig7", "render"]
 
@@ -59,33 +60,42 @@ def run_fct_vs_load(
     loads: Tuple[float, ...],
     n_flows: int,
     seed: int,
-    schemes: Optional[Dict[str, object]] = None,
+    schemes: Optional[Dict[str, AqmSpec]] = None,
     variation: float = 3.0,
     rtt_min: float = us(70),
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> FctVsLoadResult:
-    """Run every scheme at every load over the testbed star (pooled seeds)."""
-    factories = schemes if schemes is not None else testbed_schemes()
-    summaries: Dict[float, Dict[str, FctSummary]] = {}
-    for load in loads:
-        per_scheme: Dict[str, FctSummary] = {}
-        for name, factory in factories.items():
-            result = run_star_fct_pooled(
-                aqm_factory=factory,  # type: ignore[arg-type]
-                workload=workload,
+    """Run every scheme at every load over the testbed star (pooled seeds).
+
+    The full (load x scheme x seed) grid is submitted through the executor
+    in one pass, so it parallelizes and caches per cell.
+    """
+    scheme_specs = schemes if schemes is not None else testbed_scheme_specs()
+    keys = [(load, name) for load in loads for name in scheme_specs]
+    cells = [
+        seed_specs(
+            RunSpec.star(
+                scheme_specs[name],
+                workload=workload.name,
                 load=load,
                 n_flows=n_flows,
                 seed=seed,
-                n_seeds=n_seeds,
+                label=name,
                 variation=variation,
                 rtt_min=rtt_min,
-            )
-            per_scheme[name] = result.summary
-        summaries[load] = per_scheme
+            ),
+            n_seeds,
+        )
+        for load, name in keys
+    ]
+    summaries: Dict[float, Dict[str, FctSummary]] = {load: {} for load in loads}
+    for (load, name), result in zip(keys, run_grid(cells, executor)):
+        summaries[load][name] = result.summary
     return FctVsLoadResult(
         workload_name=workload.name,
         loads=loads,
-        schemes=tuple(factories.keys()),
+        schemes=tuple(scheme_specs.keys()),
         summaries=summaries,
     )
 
@@ -95,9 +105,12 @@ def run_fig6(
     n_flows: int = 150,
     seed: int = 21,
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> FctVsLoadResult:
     """Figure 6: web search workload."""
-    return run_fct_vs_load(WEB_SEARCH, loads, n_flows, seed, n_seeds=n_seeds)
+    return run_fct_vs_load(
+        WEB_SEARCH, loads, n_flows, seed, n_seeds=n_seeds, executor=executor
+    )
 
 
 def run_fig7(
@@ -105,9 +118,12 @@ def run_fig7(
     n_flows: int = 60,
     seed: int = 22,
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> FctVsLoadResult:
     """Figure 7: data mining workload."""
-    return run_fct_vs_load(DATA_MINING, loads, n_flows, seed, n_seeds=n_seeds)
+    return run_fct_vs_load(
+        DATA_MINING, loads, n_flows, seed, n_seeds=n_seeds, executor=executor
+    )
 
 
 def render(result: FctVsLoadResult, figure_name: str = "Figure 6/7") -> str:

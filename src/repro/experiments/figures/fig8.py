@@ -12,10 +12,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ...sim.units import us
 from ...workloads.websearch import WEB_SEARCH
+from ..executor import Executor, run_grid, seed_specs
 from ..fct import FctSummary
 from ..report import fmt_ratio, format_table
-from ..runner import run_star_fct_pooled
-from ..schemes import testbed_schemes
+from ..schemes import testbed_scheme_specs
+from ..specs import RunSpec
 
 __all__ = ["Fig8Result", "run_fig8", "render", "DEFAULT_VARIATIONS"]
 
@@ -47,31 +48,41 @@ def run_fig8(
     seed: int = 31,
     rtt_min: float = us(70),
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> Fig8Result:
     """Run ECN# vs DCTCP-RED-Tail across RTT variations and loads."""
     schemes = {
-        name: factory
-        for name, factory in testbed_schemes().items()
+        name: spec
+        for name, spec in testbed_scheme_specs().items()
         if name in ("DCTCP-RED-Tail", "ECN#")
     }
-    summaries: Dict[float, Dict[float, Dict[str, FctSummary]]] = {}
-    for variation in variations:
-        summaries[variation] = {}
-        for load in loads:
-            per_scheme: Dict[str, FctSummary] = {}
-            for name, factory in schemes.items():
-                result = run_star_fct_pooled(
-                    aqm_factory=factory,
-                    workload=WEB_SEARCH,
-                    load=load,
-                    n_flows=n_flows,
-                    seed=seed,
-                    n_seeds=n_seeds,
-                    variation=variation,
-                    rtt_min=rtt_min,
-                )
-                per_scheme[name] = result.summary
-            summaries[variation][load] = per_scheme
+    keys = [
+        (variation, load, name)
+        for variation in variations
+        for load in loads
+        for name in schemes
+    ]
+    cells = [
+        seed_specs(
+            RunSpec.star(
+                schemes[name],
+                workload=WEB_SEARCH.name,
+                load=load,
+                n_flows=n_flows,
+                seed=seed,
+                label=name,
+                variation=variation,
+                rtt_min=rtt_min,
+            ),
+            n_seeds,
+        )
+        for variation, load, name in keys
+    ]
+    summaries: Dict[float, Dict[float, Dict[str, FctSummary]]] = {
+        variation: {load: {} for load in loads} for variation in variations
+    }
+    for (variation, load, name), result in zip(keys, run_grid(cells, executor)):
+        summaries[variation][load][name] = result.summary
     return Fig8Result(variations=variations, loads=loads, summaries=summaries)
 
 

@@ -17,10 +17,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ...sim.units import us
 from ...workloads.websearch import WEB_SEARCH
+from ..executor import Executor, run_grid, seed_specs
 from ..fct import FctSummary
 from ..report import fmt_ratio, format_table
-from ..runner import run_leafspine_fct_pooled
-from ..schemes import simulation_schemes
+from ..schemes import simulation_scheme_specs
+from ..specs import RunSpec
 
 __all__ = ["Fig9Result", "run_fig9", "render"]
 
@@ -51,26 +52,31 @@ def run_fig9(
     dims: Tuple[int, int, int] = (4, 4, 4),
     scheme_names: Tuple[str, ...] = ("DCTCP-RED-Tail", "ECN#"),
     n_seeds: int = 2,
+    executor: Optional[Executor] = None,
 ) -> Fig9Result:
     """Run the leaf-spine comparison at each load (pooled seeds)."""
-    factories = simulation_schemes()
-    summaries: Dict[float, Dict[str, FctSummary]] = {}
-    for load in loads:
-        per_scheme: Dict[str, FctSummary] = {}
-        for name in scheme_names:
-            result = run_leafspine_fct_pooled(
-                aqm_factory=factories[name],
-                workload=WEB_SEARCH,
+    scheme_specs = simulation_scheme_specs()
+    keys = [(load, name) for load in loads for name in scheme_names]
+    cells = [
+        seed_specs(
+            RunSpec.leafspine(
+                scheme_specs[name],
+                workload=WEB_SEARCH.name,
                 load=load,
                 n_flows=n_flows,
                 seed=seed,
-                n_seeds=n_seeds,
-                dims=dims,
+                label=name,
                 variation=3.0,
                 rtt_min=us(80),
-            )
-            per_scheme[name] = result.summary
-        summaries[load] = per_scheme
+                dims=dims,
+            ),
+            n_seeds,
+        )
+        for load, name in keys
+    ]
+    summaries: Dict[float, Dict[str, FctSummary]] = {load: {} for load in loads}
+    for (load, name), result in zip(keys, run_grid(cells, executor)):
+        summaries[load][name] = result.summary
     return Fig9Result(
         loads=loads, schemes=scheme_names, dims=dims, summaries=summaries
     )

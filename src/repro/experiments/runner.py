@@ -12,9 +12,10 @@ times, endpoints and base RTTs).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import warnings
+from dataclasses import asdict, dataclass, replace
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from ..workloads.arrivals import (
 )
 from ..workloads.distributions import EmpiricalCdf
 from .fct import FctCollector, FctSummary
+from .specs import AqmSpec, RunSpec
 
 __all__ = [
     "Scale",
@@ -44,6 +46,7 @@ __all__ = [
     "run_leafspine_fct",
     "run_leafspine_fct_pooled",
     "pool_results",
+    "pooled_fct_specs",
 ]
 
 AqmFactory = Callable[[], Aqm]
@@ -101,9 +104,18 @@ class Scale:
 
     @classmethod
     def from_env(cls) -> "Scale":
-        """``REPRO_FULL=1`` selects paper-scale runs."""
-        if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+        """``REPRO_FULL=1`` (case-insensitive: ``true``/``yes``/``on`` too)
+        selects paper-scale runs; unrecognized values warn and fall back to
+        the reduced scale."""
+        raw = os.environ.get("REPRO_FULL", "").strip().lower()
+        if raw in ("1", "true", "yes", "on"):
             return cls.paper()
+        if raw not in ("", "0", "false", "no", "off"):
+            warnings.warn(
+                f"REPRO_FULL={raw!r} is not a recognized truth value "
+                "(use 1/true/yes/on or 0/false/no/off); using reduced scale",
+                stacklevel=2,
+            )
         return cls.reduced()
 
 
@@ -267,48 +279,131 @@ def pool_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
         timeouts=sum(r.timeouts for r in results),
         sim_duration=max(r.sim_duration for r in results),
         events=sum(r.events for r in results),
-        # Pooled runs share a configuration; the first run's manifest
-        # stands for the pool (seeds are consecutive from its seed).
-        manifest=results[0].manifest,
+        manifest=_pooled_manifest(results),
     )
 
 
+def _pooled_manifest(results: Sequence[ExperimentResult]) -> Optional[RunManifest]:
+    """A manifest for the pool: the first run's configuration, with the
+    seed list and the *summed* wall time and event count of all members."""
+    first = results[0].manifest
+    if first is None:
+        return None
+    walls = [
+        r.manifest.wall_seconds
+        for r in results
+        if r.manifest is not None and r.manifest.wall_seconds is not None
+    ]
+    seeds = [r.manifest.seed for r in results if r.manifest is not None]
+    return replace(
+        first,
+        params={**first.params, "n_seeds": len(results), "seeds": seeds},
+        wall_seconds=sum(walls) if walls else None,
+        events=sum(r.events for r in results),
+    )
+
+
+def pooled_fct_specs(
+    kind: str,
+    aqm: AqmSpec,
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    n_seeds: int,
+    label: str = "",
+    **kwargs,
+) -> List[RunSpec]:
+    """The seed-expanded spec list for one pooled star/leaf-spine cell."""
+    from .executor import seed_specs
+
+    transport = kwargs.pop("transport", None)
+    builder = RunSpec.star if kind == "star" else RunSpec.leafspine
+    spec = builder(
+        aqm,
+        workload=workload.name,
+        load=load,
+        n_flows=n_flows,
+        seed=seed,
+        label=label,
+        transport=asdict(transport) if transport is not None else None,
+        **kwargs,
+    )
+    return seed_specs(spec, n_seeds)
+
+
+def _run_fct_pooled(
+    kind: str,
+    aqm_factory: Union[AqmFactory, AqmSpec],
+    workload: EmpiricalCdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    n_seeds: int,
+    executor=None,
+    **kwargs,
+) -> ExperimentResult:
+    if n_seeds <= 0:
+        raise ValueError("n_seeds must be positive")
+    if isinstance(aqm_factory, AqmSpec):
+        from .executor import get_default_executor
+
+        specs = pooled_fct_specs(
+            kind, aqm_factory, workload, load, n_flows, seed, n_seeds, **kwargs
+        )
+        executor = executor or get_default_executor()
+        return pool_results(executor.run(specs))
+    # Legacy path: closure factories cannot cross a process boundary (or
+    # key the cache), so they always run sequentially in-process.
+    run = run_star_fct if kind == "star" else run_leafspine_fct
+    results = [
+        run(aqm_factory, workload, load, n_flows, seed + offset, **kwargs)
+        for offset in range(n_seeds)
+    ]
+    return pool_results(results)
+
+
 def run_star_fct_pooled(
-    aqm_factory: AqmFactory,
+    aqm_factory: Union[AqmFactory, AqmSpec],
     workload: EmpiricalCdf,
     load: float,
     n_flows: int,
     seed: int,
     n_seeds: int = 2,
+    executor=None,
     **kwargs,
 ) -> ExperimentResult:
-    """``run_star_fct`` pooled over ``n_seeds`` independent seeds."""
-    if n_seeds <= 0:
-        raise ValueError("n_seeds must be positive")
-    results = [
-        run_star_fct(aqm_factory, workload, load, n_flows, seed + offset, **kwargs)
-        for offset in range(n_seeds)
-    ]
-    return pool_results(results)
+    """``run_star_fct`` pooled over ``n_seeds`` independent seeds.
+
+    Pass an :class:`AqmSpec` (rather than a bare callable) to execute the
+    seeds through the experiment executor -- in parallel when its ``jobs``
+    is above one, and replayed from the result cache when warm.
+    """
+    return _run_fct_pooled(
+        "star", aqm_factory, workload, load, n_flows, seed, n_seeds,
+        executor=executor, **kwargs,
+    )
 
 
 def run_leafspine_fct_pooled(
-    aqm_factory: AqmFactory,
+    aqm_factory: Union[AqmFactory, AqmSpec],
     workload: EmpiricalCdf,
     load: float,
     n_flows: int,
     seed: int,
     n_seeds: int = 2,
+    executor=None,
     **kwargs,
 ) -> ExperimentResult:
-    """``run_leafspine_fct`` pooled over ``n_seeds`` independent seeds."""
-    if n_seeds <= 0:
-        raise ValueError("n_seeds must be positive")
-    results = [
-        run_leafspine_fct(aqm_factory, workload, load, n_flows, seed + offset, **kwargs)
-        for offset in range(n_seeds)
-    ]
-    return pool_results(results)
+    """``run_leafspine_fct`` pooled over ``n_seeds`` independent seeds.
+
+    Accepts an :class:`AqmSpec` for parallel/cached execution, like
+    :func:`run_star_fct_pooled`.
+    """
+    return _run_fct_pooled(
+        "leafspine", aqm_factory, workload, load, n_flows, seed, n_seeds,
+        executor=executor, **kwargs,
+    )
 
 
 def run_leafspine_fct(

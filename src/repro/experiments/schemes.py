@@ -19,17 +19,22 @@ implementation choice); byte thresholds convert through Equation 2 at the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from ..core import Codel, EcnSharp, EcnSharpConfig, SojournRed, Tcn
 from ..core.base import Aqm
 from ..sim.units import gbps, kb, us
+from .specs import AqmSpec
 
 __all__ = [
     "AqmFactory",
+    "AQM_BUILDERS",
+    "build_aqm",
     "bytes_to_sojourn",
     "testbed_schemes",
+    "testbed_scheme_specs",
     "simulation_schemes",
+    "simulation_scheme_specs",
     "SCHEME_ORDER",
 ]
 
@@ -37,6 +42,38 @@ AqmFactory = Callable[[], Aqm]
 
 SCHEME_ORDER: List[str] = ["DCTCP-RED-Tail", "DCTCP-RED-AVG", "CoDel", "ECN#"]
 """Presentation order used by the figures."""
+
+AQM_BUILDERS: Dict[str, Callable[..., Aqm]] = {
+    "sojourn-red": lambda sojourn: SojournRed(sojourn),
+    "codel": lambda target, interval: Codel(
+        target_seconds=target, interval_seconds=interval
+    ),
+    "ecn-sharp": lambda ins_target, pst_target, pst_interval: EcnSharp(
+        EcnSharpConfig(
+            ins_target=ins_target,
+            pst_target=pst_target,
+            pst_interval=pst_interval,
+        )
+    ),
+    "tcn": lambda threshold: Tcn(threshold),
+}
+"""AQM registry: name -> keyword constructor.
+
+This is what lets a :class:`~repro.experiments.specs.AqmSpec` cross a
+process boundary -- the worker rebuilds the AQM from (name, params) instead
+of unpicklable closure factories.
+"""
+
+
+def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
+    """Construct a registered AQM from its registry name and parameters."""
+    try:
+        builder = AQM_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown AQM kind {kind!r} (available: {sorted(AQM_BUILDERS)})"
+        ) from None
+    return builder(**params)
 
 
 def bytes_to_sojourn(threshold_bytes: int, rate_bps: float = gbps(10)) -> float:
@@ -46,30 +83,42 @@ def bytes_to_sojourn(threshold_bytes: int, rate_bps: float = gbps(10)) -> float:
     return threshold_bytes * 8.0 / rate_bps
 
 
-def testbed_schemes(rate_bps: float = gbps(10)) -> Dict[str, AqmFactory]:
-    """The four Section 5.2 schemes with the paper's testbed parameters."""
+def testbed_scheme_specs(rate_bps: float = gbps(10)) -> Dict[str, AqmSpec]:
+    """The four Section 5.2 schemes as registry specs (testbed parameters)."""
     tail_sojourn = bytes_to_sojourn(kb(250), rate_bps)  # ~204.8 us at 10G
     avg_sojourn = bytes_to_sojourn(kb(80), rate_bps)  # ~65.5 us at 10G
     return {
-        "DCTCP-RED-Tail": lambda: SojournRed(tail_sojourn),
-        "DCTCP-RED-AVG": lambda: SojournRed(avg_sojourn),
-        "CoDel": lambda: Codel(target_seconds=us(85), interval_seconds=us(200)),
-        "ECN#": lambda: EcnSharp(
-            EcnSharpConfig(
-                ins_target=us(200), pst_target=us(85), pst_interval=us(200)
-            )
+        "DCTCP-RED-Tail": AqmSpec.make("sojourn-red", sojourn=tail_sojourn),
+        "DCTCP-RED-AVG": AqmSpec.make("sojourn-red", sojourn=avg_sojourn),
+        "CoDel": AqmSpec.make("codel", target=us(85), interval=us(200)),
+        "ECN#": AqmSpec.make(
+            "ecn-sharp", ins_target=us(200), pst_target=us(85), pst_interval=us(200)
         ),
+    }
+
+
+def simulation_scheme_specs() -> Dict[str, AqmSpec]:
+    """The Section 5.3/5.4 schemes as registry specs (80-240 us band)."""
+    return {
+        "DCTCP-RED-Tail": AqmSpec.make("sojourn-red", sojourn=us(220)),  # p90 RTT
+        "DCTCP-RED-AVG": AqmSpec.make("sojourn-red", sojourn=us(137)),  # avg RTT
+        "CoDel": AqmSpec.make("codel", target=us(10), interval=us(240)),
+        "ECN#": AqmSpec.make(
+            "ecn-sharp", ins_target=us(220), pst_target=us(10), pst_interval=us(240)
+        ),
+        "TCN": AqmSpec.make("tcn", threshold=us(150)),  # Figure 13's threshold
+    }
+
+
+def testbed_schemes(rate_bps: float = gbps(10)) -> Dict[str, AqmFactory]:
+    """The four Section 5.2 schemes with the paper's testbed parameters."""
+    return {
+        name: spec.build for name, spec in testbed_scheme_specs(rate_bps).items()
     }
 
 
 def simulation_schemes() -> Dict[str, AqmFactory]:
     """The Section 5.3/5.4 schemes (80-240 us RTT band, 10 Gbps)."""
     return {
-        "DCTCP-RED-Tail": lambda: SojournRed(us(220)),  # 90th-percentile RTT
-        "DCTCP-RED-AVG": lambda: SojournRed(us(137)),  # average RTT
-        "CoDel": lambda: Codel(target_seconds=us(10), interval_seconds=us(240)),
-        "ECN#": lambda: EcnSharp(
-            EcnSharpConfig(ins_target=us(220), pst_target=us(10), pst_interval=us(240))
-        ),
-        "TCN": lambda: Tcn(us(150)),  # Figure 13's threshold
+        name: spec.build for name, spec in simulation_scheme_specs().items()
     }

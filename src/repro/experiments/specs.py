@@ -1,0 +1,233 @@
+"""Deterministic run specifications for the experiment executor.
+
+Every paper figure is a grid of fully independent DES runs -- one cell per
+(scheme, sweep point, seed).  A :class:`RunSpec` captures *everything* that
+determines one run's output: the topology kind, the AQM (by registry name
+plus parameters, see :mod:`repro.experiments.schemes`), the workload, the
+load point, the flow count, the seed, the transport configuration and the
+RTT profile.  Specs are frozen, hashable and JSON-serializable, which makes
+them safe to ship across process boundaries (``ProcessPoolExecutor`` with
+the spawn start method) and to use as on-disk cache keys.
+
+Because each run constructs its own :class:`~repro.sim.engine.Simulator`
+and ``numpy.random.default_rng(seed)``, a spec's result is bit-identical
+whether it executes in-process, in a worker process, or is replayed from
+the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["AqmSpec", "RunSpec", "resolve_workload", "stable_hash"]
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Canonical hashable form of a parameter value (lists become tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def _freeze_params(params: Dict[str, Any]) -> Params:
+    """Sorted key/value tuple form of a parameter dict (hashable, stable)."""
+    return tuple(sorted((k, _freeze_value(v)) for k, v in params.items()))
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 over a canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class AqmSpec:
+    """An AQM identified by registry name plus constructor parameters.
+
+    Unlike the closure factories in :mod:`repro.experiments.schemes`, an
+    ``AqmSpec`` is picklable and hashable, so it can cross process
+    boundaries and key the result cache.  ``build()`` is itself a zero-arg
+    factory usable anywhere an ``aqm_factory`` callable is expected.
+    """
+
+    kind: str
+    params: Params = ()
+
+    @classmethod
+    def make(cls, kind: str, **params: float) -> "AqmSpec":
+        return cls(kind=kind, params=_freeze_params(params))
+
+    def build(self):
+        from .schemes import build_aqm  # deferred: schemes imports this module
+
+        return build_aqm(self.kind, dict(self.params))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AqmSpec":
+        return cls.make(data["kind"], **data["params"])
+
+
+def resolve_workload(name: str):
+    """Look up a flow-size distribution by its report name."""
+    from ..workloads.datamining import DATA_MINING
+    from ..workloads.websearch import WEB_SEARCH
+
+    workloads = {WEB_SEARCH.name: WEB_SEARCH, DATA_MINING.name: DATA_MINING}
+    try:
+        return workloads[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r} (available: {sorted(workloads)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run's full parameter set.
+
+    ``kind`` selects the rig ("star", "leafspine", "microscopic" or
+    "scheduler"); fields left at ``None`` fall through to the rig's own
+    defaults, so a spec only pins what the experiment varies.  ``extras``
+    carries rig-specific knobs (leaf-spine ``dims``, incast ``fanout``,
+    scheduler ``phase``, ...) as a sorted key/value tuple.  ``label`` is the
+    scheme's display name; it travels with the result (and therefore with
+    the cache entry), so it participates in the spec identity.
+    """
+
+    kind: str
+    aqm: AqmSpec
+    seed: int
+    label: str = ""
+    workload: Optional[str] = None
+    load: Optional[float] = None
+    n_flows: Optional[int] = None
+    variation: Optional[float] = None
+    rtt_min: Optional[float] = None
+    rtt_shape: Optional[str] = None
+    transport: Params = ()
+    extras: Params = field(default=())
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def star(
+        cls,
+        aqm: AqmSpec,
+        workload: str,
+        load: float,
+        n_flows: int,
+        seed: int,
+        label: str = "",
+        transport: Optional[Dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> "RunSpec":
+        """A testbed-style star FCT run (``run_star_fct``)."""
+        return cls._fct("star", aqm, workload, load, n_flows, seed, label,
+                        transport, kwargs)
+
+    @classmethod
+    def leafspine(
+        cls,
+        aqm: AqmSpec,
+        workload: str,
+        load: float,
+        n_flows: int,
+        seed: int,
+        label: str = "",
+        transport: Optional[Dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> "RunSpec":
+        """A large-scale leaf-spine FCT run (``run_leafspine_fct``)."""
+        return cls._fct("leafspine", aqm, workload, load, n_flows, seed,
+                        label, transport, kwargs)
+
+    @classmethod
+    def microscopic(
+        cls, aqm: AqmSpec, seed: int, label: str = "", **kwargs: Any
+    ) -> "RunSpec":
+        """A Figure 10/11 incast-burst run (``run_microscopic``)."""
+        return cls(kind="microscopic", aqm=aqm, seed=seed, label=label,
+                   extras=_freeze_params(kwargs))
+
+    @classmethod
+    def scheduler(
+        cls, aqm: AqmSpec, seed: int, label: str = "", **kwargs: Any
+    ) -> "RunSpec":
+        """A Figure 13 DWRR scheduling run (``run_scheduler_experiment``)."""
+        return cls(kind="scheduler", aqm=aqm, seed=seed, label=label,
+                   extras=_freeze_params(kwargs))
+
+    @classmethod
+    def _fct(cls, kind, aqm, workload, load, n_flows, seed, label,
+             transport, kwargs) -> "RunSpec":
+        variation = kwargs.pop("variation", None)
+        rtt_min = kwargs.pop("rtt_min", None)
+        rtt_shape = kwargs.pop("rtt_shape", None)
+        return cls(
+            kind=kind,
+            aqm=aqm,
+            seed=seed,
+            label=label,
+            workload=workload,
+            load=load,
+            n_flows=n_flows,
+            variation=variation,
+            rtt_min=rtt_min,
+            rtt_shape=rtt_shape,
+            transport=_freeze_params(transport or {}),
+            extras=_freeze_params(kwargs),
+        )
+
+    # ---------------------------------------------------------- identity
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "aqm": self.aqm.to_dict(),
+            "seed": self.seed,
+            "label": self.label,
+            "workload": self.workload,
+            "load": self.load,
+            "n_flows": self.n_flows,
+            "variation": self.variation,
+            "rtt_min": self.rtt_min,
+            "rtt_shape": self.rtt_shape,
+            "transport": dict(self.transport),
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
+        return cls(
+            kind=data["kind"],
+            aqm=AqmSpec.from_dict(data["aqm"]),
+            seed=data["seed"],
+            label=data.get("label", ""),
+            workload=data.get("workload"),
+            load=data.get("load"),
+            n_flows=data.get("n_flows"),
+            variation=data.get("variation"),
+            rtt_min=data.get("rtt_min"),
+            rtt_shape=data.get("rtt_shape"),
+            transport=_freeze_params(data.get("transport") or {}),
+            extras=_freeze_params(data.get("extras") or {}),
+        )
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the spec (the cache key's spec half)."""
+        return stable_hash(self.to_dict())

@@ -13,7 +13,7 @@ remove entries from the middle of the heap.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -95,7 +95,7 @@ class Simulator:
                 f"cannot schedule at {when}, current time is {self._now}"
             )
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, callback, args))
+        heappush(self._heap, (when, self._sequence, callback, args))
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Dispatch events in time order.
@@ -110,6 +110,7 @@ class Simulator:
         self._running = True
         try:
             heap = self._heap
+            pop = heappop  # local binding: dominant call in the hot loop
             # ``_events_processed`` is incremented per dispatch (not batched
             # at return) so monitors and the profiler can read a live value
             # mid-run; the dispatch budget is tracked through it too, which
@@ -118,16 +119,32 @@ class Simulator:
             limit = None if max_events is None else start_events + max_events
             profiler = self._profiler
             if profiler is None:
-                while heap:
-                    when = heap[0][0]
-                    if until is not None and when > until:
-                        break
-                    if limit is not None and self._events_processed >= limit:
-                        break
-                    when, _, callback, args = heapq.heappop(heap)
-                    self._now = when
-                    callback(*args)
-                    self._events_processed += 1
+                if until is None:
+                    # The dominant path (run_until_idle): no horizon check,
+                    # and the budget folds into the loop condition.
+                    if limit is None:
+                        while heap:
+                            when, _, callback, args = pop(heap)
+                            self._now = when
+                            callback(*args)
+                            self._events_processed += 1
+                    else:
+                        while heap and self._events_processed < limit:
+                            when, _, callback, args = pop(heap)
+                            self._now = when
+                            callback(*args)
+                            self._events_processed += 1
+                else:
+                    while heap:
+                        when = heap[0][0]
+                        if when > until:
+                            break
+                        if limit is not None and self._events_processed >= limit:
+                            break
+                        when, _, callback, args = pop(heap)
+                        self._now = when
+                        callback(*args)
+                        self._events_processed += 1
             else:
                 wall_start = perf_counter()
                 virtual_start = self._now
@@ -138,7 +155,7 @@ class Simulator:
                         break
                     if limit is not None and self._events_processed >= limit:
                         break
-                    when, _, callback, args = heapq.heappop(heap)
+                    when, _, callback, args = pop(heap)
                     self._now = when
                     callback(*args)
                     self._events_processed += 1

@@ -11,6 +11,20 @@ from repro.sim.packet import Ecn, Packet
 from repro.sim.units import gbps, mb, us
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_executor(tmp_path, monkeypatch):
+    """Isolate every test from ambient executor state: no inherited
+    parallelism, and any cache use (e.g. CLI invocations, which cache by
+    default) lands in a per-test temp dir instead of ``~/.cache/repro``."""
+    from repro.experiments.executor import set_default_executor
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    previous = set_default_executor(None)
+    yield
+    set_default_executor(previous)
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

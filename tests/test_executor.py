@@ -1,0 +1,232 @@
+"""Tests for run specs, the parallel executor, and the result cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.red import SojournRed
+from repro.experiments.executor import (
+    Executor,
+    ResultCache,
+    get_default_executor,
+    run_grid,
+    seed_specs,
+    set_default_executor,
+)
+from repro.experiments.runner import pool_results
+from repro.experiments.schemes import build_aqm
+from repro.experiments.schemes import testbed_scheme_specs as make_testbed_scheme_specs
+from repro.experiments.specs import AqmSpec, RunSpec, resolve_workload
+from repro.sim.units import us
+from repro.workloads import WEB_SEARCH
+
+SUMMARY_FIELDS = (
+    "n_flows", "overall_avg", "overall_p99", "short_avg", "short_p99",
+    "large_avg", "n_short", "n_large",
+)
+
+
+def tiny_spec(seed=3, sojourn=us(200), label="RED-Tail", load=0.4):
+    return RunSpec.star(
+        AqmSpec.make("sojourn-red", sojourn=sojourn),
+        workload=WEB_SEARCH.name,
+        load=load,
+        n_flows=12,
+        seed=seed,
+        label=label,
+    )
+
+
+class TestAqmSpec:
+    def test_build_constructs_fresh_instances(self):
+        spec = AqmSpec.make("sojourn-red", sojourn=us(200))
+        aqm = spec.build()
+        assert isinstance(aqm, SojournRed)
+        assert spec.build() is not aqm
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown AQM"):
+            build_aqm("no-such-aqm", {})
+
+    def test_roundtrip(self):
+        spec = AqmSpec.make("codel", target=us(10), interval=us(240))
+        assert AqmSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestRunSpec:
+    def test_roundtrip_and_hash_stability(self):
+        spec = RunSpec.leafspine(
+            AqmSpec.make("tcn", threshold=us(150)),
+            workload=WEB_SEARCH.name,
+            load=0.5,
+            n_flows=100,
+            seed=7,
+            label="TCN",
+            variation=3.0,
+            rtt_min=us(80),
+            transport={"init_cwnd": 2.0},
+            dims=(4, 4, 4),
+        )
+        again = RunSpec.from_dict(spec.to_dict())
+        # JSON turns tuples into lists; the roundtrip must re-freeze them so
+        # equality, hashing and the cache key all still line up.
+        assert again == spec
+        assert hash(again) == hash(spec)
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_hash_changes_with_params(self):
+        assert tiny_spec(seed=3).spec_hash() != tiny_spec(seed=4).spec_hash()
+        assert (
+            tiny_spec(sojourn=us(200)).spec_hash()
+            != tiny_spec(sojourn=us(210)).spec_hash()
+        )
+
+    def test_specs_are_picklable(self):
+        spec = tiny_spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = tiny_spec().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict(data)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workload("no-such-workload")
+
+
+class TestSeedSpecs:
+    def test_expands_consecutive_seeds(self):
+        specs = seed_specs(tiny_spec(seed=10), 3)
+        assert [s.seed for s in specs] == [10, 11, 12]
+        assert all(s.label == "RED-Tail" for s in specs)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            seed_specs(tiny_spec(), 0)
+
+
+def result_fingerprint(result):
+    """Everything the figures consume: summary fields, counters, and the
+    exact per-flow FCT list (bit-identical, not just approximately equal)."""
+    return (
+        tuple(getattr(result.summary, f) for f in SUMMARY_FIELDS),
+        result.marks,
+        result.drops,
+        result.timeouts,
+        tuple(r.fct for r in result.collector.records),
+    )
+
+
+class TestExecutorDeterminism:
+    def grid(self):
+        """Two schemes x two seeds of a tiny star run."""
+        schemes = make_testbed_scheme_specs()
+        return [
+            spec.with_seed(seed)
+            for name in ("DCTCP-RED-Tail", "ECN#")
+            for seed in (3, 4)
+            for spec in [
+                RunSpec.star(
+                    schemes[name],
+                    workload=WEB_SEARCH.name,
+                    load=0.4,
+                    n_flows=12,
+                    seed=seed,
+                    label=name,
+                )
+            ]
+        ]
+
+    def test_serial_parallel_and_cache_identical(self, tmp_path):
+        specs = self.grid()
+
+        serial = Executor(jobs=1)
+        baseline = [result_fingerprint(r) for r in serial.run(specs)]
+        assert serial.stats.executed == len(specs)
+
+        parallel = Executor(jobs=4, cache=True, cache_dir=tmp_path)
+        first = parallel.run(specs)
+        assert [result_fingerprint(r) for r in first] == baseline
+        assert parallel.stats.executed == len(specs)
+        assert parallel.stats.cache_hits == 0
+
+        warm = parallel.run(specs)
+        assert [result_fingerprint(r) for r in warm] == baseline
+        assert parallel.stats.executed == len(specs)  # nothing re-simulated
+        assert parallel.stats.cache_hits == len(specs)
+
+    def test_results_in_submission_order(self, tmp_path):
+        specs = self.grid()
+        results = Executor(jobs=2).run(specs)
+        for spec, result in zip(specs, results):
+            assert result.manifest.seed == spec.seed
+
+
+class TestResultCache:
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        spec = tiny_spec()
+        executor = Executor(jobs=1, cache=True, cache_dir=tmp_path)
+        baseline = result_fingerprint(executor.run([spec])[0])
+
+        executor.cache.path(spec).write_bytes(b"not a pickle")
+        again = result_fingerprint(executor.run([spec])[0])
+        assert again == baseline
+        assert executor.stats.executed == 2  # recomputed, not crashed
+        assert executor.stats.cache_hits == 0
+
+    def test_key_mixes_in_code_tag(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        before = cache.key(spec)
+        import repro.experiments.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "CACHE_SCHEMA_VERSION", 2)
+        assert cache.key(spec) != before
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).load(tiny_spec()) is None
+
+
+class TestRunGrid:
+    def test_pools_each_cell(self):
+        cells = [seed_specs(tiny_spec(seed=3), 2), seed_specs(tiny_spec(seed=9), 1)]
+        executor = Executor(jobs=1)
+        pooled = run_grid(cells, executor)
+        assert len(pooled) == 2
+        assert pooled[0].manifest.params["n_seeds"] == 2
+        assert pooled[0].manifest.params["seeds"] == [3, 4]
+        # Pooling through the grid matches pooling by hand.
+        by_hand = pool_results(executor.run(seed_specs(tiny_spec(seed=3), 2)))
+        assert result_fingerprint(pooled[0]) == result_fingerprint(by_hand)
+
+    def test_custom_pool_callable(self):
+        cells = [seed_specs(tiny_spec(seed=3), 2)]
+        counts = run_grid(cells, Executor(jobs=1), pool=len)
+        assert counts == [2]
+
+
+class TestDefaultExecutor:
+    def test_from_env_reads_jobs_and_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        executor = Executor.from_env()
+        assert executor.jobs == 3
+        assert executor.cache is not None
+        assert executor.cache.directory == tmp_path
+
+    def test_from_env_defaults_hermetic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        executor = Executor.from_env()
+        assert executor.jobs == 1
+        assert executor.cache is None
+
+    def test_set_default_round_trips(self):
+        mine = Executor(jobs=1)
+        previous = set_default_executor(mine)
+        try:
+            assert get_default_executor() is mine
+        finally:
+            set_default_executor(previous)

@@ -15,6 +15,7 @@ from repro.experiments.report import fmt_ratio, fmt_us, format_table
 from repro.experiments.runner import (
     Scale,
     estimate_star_network_rtt,
+    pool_results,
     run_leafspine_fct,
     run_star_fct,
 )
@@ -128,6 +129,19 @@ class TestScale:
         monkeypatch.setenv("REPRO_FULL", "1")
         assert Scale.from_env().full
 
+    def test_from_env_case_insensitive(self, monkeypatch):
+        for raw in ("TRUE", "Yes", " on "):
+            monkeypatch.setenv("REPRO_FULL", raw)
+            assert Scale.from_env().full
+        for raw in ("0", "False", "OFF", "no"):
+            monkeypatch.setenv("REPRO_FULL", raw)
+            assert not Scale.from_env().full
+
+    def test_from_env_warns_on_unrecognized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "enable")
+        with pytest.warns(UserWarning, match="REPRO_FULL"):
+            assert not Scale.from_env().full
+
 
 class TestRunners:
     def test_star_run_end_to_end(self):
@@ -199,3 +213,34 @@ class TestRunners:
         )
         assert result.marks > 0
         assert result.instant_marks == result.marks
+
+
+class TestPooling:
+    def run(self, seed):
+        return run_star_fct(
+            aqm_factory=lambda: SojournRed(us(200)),
+            workload=WEB_SEARCH,
+            load=0.4,
+            n_flows=15,
+            seed=seed,
+        )
+
+    def test_pooled_manifest_aggregates(self):
+        results = [self.run(seed) for seed in (5, 6, 7)]
+        pooled = pool_results(results)
+        manifest = pooled.manifest
+        assert manifest is not None
+        assert manifest.params["n_seeds"] == 3
+        assert manifest.params["seeds"] == [5, 6, 7]
+        assert manifest.events == sum(r.events for r in results)
+        assert manifest.wall_seconds == pytest.approx(
+            sum(r.manifest.wall_seconds for r in results)
+        )
+
+    def test_pooled_counters_and_records(self):
+        results = [self.run(seed) for seed in (5, 6)]
+        pooled = pool_results(results)
+        assert pooled.summary.n_flows == 30
+        assert pooled.marks == sum(r.marks for r in results)
+        assert pooled.events == sum(r.events for r in results)
+        assert len(pooled.collector.records) == 30

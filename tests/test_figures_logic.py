@@ -9,6 +9,7 @@ from repro.experiments.figures.fig6_fig7 import FctVsLoadResult
 from repro.experiments.figures.fig8 import Fig8Result
 from repro.experiments.figures.fig10 import MicroscopicRun, _best_window_average
 from repro.experiments.figures.fig11 import Fig11Result
+from repro.experiments.figures.fig12 import _spread
 from repro.experiments.figures.fig13 import Fig13Result, SchedulerRun
 
 
@@ -47,6 +48,41 @@ class TestFig2Result:
             thresholds_kb=(50,), summaries={50: none_summary}, load=0.5, variation=3.0
         )
         assert result.normalized("large_avg")[50] is None
+
+    def test_zero_value_normalizes_to_zero(self):
+        """A legitimate 0.0 measurement must not be dropped as missing."""
+        zero_summary = FctSummary(
+            n_flows=1, overall_avg=0.0, overall_p99=0.0, short_avg=0.0,
+            short_p99=0.0, large_avg=0.0, n_short=1, n_large=0,
+        )
+        result = Fig2Result(
+            thresholds_kb=(50, 250),
+            summaries={50: summary(overall=1e-3), 250: zero_summary},
+            load=0.5,
+            variation=3.0,
+        )
+        assert result.normalized("overall_avg")[250] == 0.0
+
+    def test_zero_base_is_none(self):
+        zero_summary = FctSummary(
+            n_flows=1, overall_avg=0.0, overall_p99=0.0, short_avg=0.0,
+            short_p99=0.0, large_avg=0.0, n_short=1, n_large=0,
+        )
+        result = Fig2Result(
+            thresholds_kb=(50, 250),
+            summaries={50: zero_summary, 250: summary(overall=1e-3)},
+            load=0.5,
+            variation=3.0,
+        )
+        assert result.normalized("overall_avg")[250] is None
+
+
+class TestFig12Spread:
+    def test_ignores_none_keeps_zero(self):
+        assert _spread([2e-3, None, 1e-3]) == pytest.approx(1.0)
+        assert _spread([0.0, 1e-3]) is None  # zero base: spread undefined
+        assert _spread([None, None]) is None
+        assert _spread([]) is None
 
 
 class TestFig3Result:
