@@ -24,6 +24,14 @@ flight-recorder event trace, ``--trace-out`` exports it as JSONL, and
 ``--metrics-out`` writes the metrics registry snapshot plus a run manifest
 (seed, scale, git SHA, event counts) as JSON.  See DESIGN.md ("Telemetry &
 instrumentation").
+
+Fault tolerance: a cell that crashes, stalls or hangs does not abort the
+figure.  Failed cells are retried (``--retries``/``REPRO_RETRIES``, default
+1), optionally bounded by a per-spec wall-clock budget
+(``--spec-timeout``/``REPRO_SPEC_TIMEOUT``, off by default), and finally
+recorded; the figure renders the surviving cells with gaps, a failure
+summary table is printed, and the exit code is non-zero only when *no*
+cell produced a usable result.
 """
 
 from __future__ import annotations
@@ -53,7 +61,11 @@ from .experiments.executor import (
     default_cache_dir,
     set_default_executor,
 )
-from .experiments.report import format_manifest, format_trace_summary
+from .experiments.report import (
+    format_failure_table,
+    format_manifest,
+    format_trace_summary,
+)
 from .experiments.runner import Scale
 from .sim.units import ms
 from .telemetry import CATEGORIES, RunManifest, Telemetry, activate
@@ -189,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="always simulate, ignoring and not writing the result cache",
     )
     run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a failed cell before recording the failure "
+        "(default: REPRO_RETRIES or 1)",
+    )
+    run.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell still running past it is "
+        "abandoned and recorded as a timeout failure (default: "
+        "REPRO_SPEC_TIMEOUT or off; forces pool execution)",
+    )
+    run.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -259,9 +288,31 @@ def main(argv: Optional[list] = None) -> int:
             jobs = max(1, int(raw_jobs)) if raw_jobs else 1
         except ValueError:
             parser.error(f"REPRO_JOBS={raw_jobs!r} is not an integer")
+    retries = args.retries
+    if retries is None:
+        raw_retries = os.environ.get("REPRO_RETRIES", "").strip()
+        try:
+            retries = max(0, int(raw_retries)) if raw_retries else 1
+        except ValueError:
+            parser.error(f"REPRO_RETRIES={raw_retries!r} is not an integer")
+    if retries < 0:
+        parser.error("--retries must be >= 0")
+    spec_timeout = args.spec_timeout
+    if spec_timeout is None:
+        raw_timeout = os.environ.get("REPRO_SPEC_TIMEOUT", "").strip()
+        try:
+            spec_timeout = float(raw_timeout) if raw_timeout else None
+        except ValueError:
+            parser.error(f"REPRO_SPEC_TIMEOUT={raw_timeout!r} is not a number")
+    if spec_timeout is not None and spec_timeout <= 0:
+        spec_timeout = None  # 0 / negative = explicitly off
     cache_dir = args.cache_dir or default_cache_dir()
     executor = Executor(
-        jobs=jobs, cache=not args.no_cache, cache_dir=cache_dir
+        jobs=jobs,
+        cache=not args.no_cache,
+        cache_dir=cache_dir,
+        retries=retries,
+        spec_timeout=spec_timeout,
     )
 
     trace_enabled = (
@@ -320,6 +371,8 @@ def main(argv: Optional[list] = None) -> int:
         f"# executor: jobs={executor.jobs} {executor.stats.merge_line()} "
         f"cache={'off' if executor.cache is None else executor.cache.directory}"
     )
+    if executor.failures:
+        print(format_failure_table(executor.failures))
     if telemetry.profiler is not None:
         print(f"# {telemetry.profiler.summary_line()}")
     print(f"# {format_manifest(manifest)}")
@@ -335,6 +388,12 @@ def main(argv: Optional[list] = None) -> int:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# metrics written to {args.metrics_out}")
+    stats = executor.stats
+    if stats.submitted and stats.failed >= stats.submitted:
+        # Partial grids render with gaps and exit 0; only a figure with
+        # zero usable cells is a hard failure.
+        print("# error: every cell failed; no usable results", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -8,6 +8,13 @@ from .executor import (
     seed_specs,
     set_default_executor,
 )
+from .faults import (
+    FailedCell,
+    InjectedFault,
+    RunFailure,
+    gather_failures,
+    is_failure,
+)
 from .fct import (
     LARGE_FLOW_MIN,
     SHORT_FLOW_MAX,
@@ -16,11 +23,12 @@ from .fct import (
     FlowRecord,
     NormalizedFct,
 )
-from .report import format_table
+from .report import format_failure_table, format_table
 from .runner import (
     ExperimentResult,
     Scale,
     estimate_star_network_rtt,
+    pool_results,
     run_leafspine_fct,
     run_star_fct,
 )
@@ -41,10 +49,17 @@ __all__ = [
     "FctSummary",
     "FlowRecord",
     "NormalizedFct",
+    "format_failure_table",
     "format_table",
     "ExperimentResult",
+    "FailedCell",
+    "InjectedFault",
+    "RunFailure",
     "Scale",
     "estimate_star_network_rtt",
+    "gather_failures",
+    "is_failure",
+    "pool_results",
     "run_leafspine_fct",
     "run_star_fct",
     "SCHEME_ORDER",

@@ -1,4 +1,5 @@
-"""Parallel experiment executor with an on-disk result cache.
+"""Parallel experiment executor with an on-disk result cache and a
+fault-tolerance layer.
 
 The paper's figures are grids of independent, seed-deterministic DES runs
 (scheme x load/threshold/fanout x seed).  This module fans a list of
@@ -6,19 +7,29 @@ The paper's figures are grids of independent, seed-deterministic DES runs
 memoizes each cell's result on disk, so that
 
 * a sweep saturates the machine instead of one core (``--jobs N`` /
-  ``REPRO_JOBS=N``), and
+  ``REPRO_JOBS=N``),
 * re-rendering a figure replays completed cells from the cache instead of
-  re-simulating them (``REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+  re-simulating them (``REPRO_CACHE_DIR``, default ``~/.cache/repro``), and
+* one crashed, hung or OOM-killed cell degrades to a recorded
+  :class:`~repro.experiments.faults.RunFailure` instead of aborting the
+  grid: worker exceptions are caught *inside* the worker, failed specs are
+  retried (``--retries``/``REPRO_RETRIES``), a per-spec wall-clock budget
+  (``--spec-timeout``/``REPRO_SPEC_TIMEOUT``) abandons hung workers, and a
+  ``BrokenProcessPool`` is recovered by rebuilding the pool and requeueing
+  only the unfinished specs.
 
 Determinism guarantee: every run owns its own
 :class:`~repro.sim.engine.Simulator` and ``numpy.random.default_rng(seed)``,
 so the same spec produces bit-identical results with ``jobs=1``, ``jobs=N``
-or from a warm cache.  Workers are started with the *spawn* method and the
-worker entry point is a module-level function, so no closure, simulator or
-telemetry state leaks across the process boundary.
+or from a warm cache -- and surviving cells of a partially-failed grid are
+bit-identical to a clean run.  Workers are started with the *spawn* method
+and the worker entry point is a module-level function, so no closure,
+simulator or telemetry state leaks across the process boundary.
 
 ``jobs=1`` (the default) executes in-process -- tests and library callers
-stay single-process unless parallelism is requested explicitly.
+stay single-process unless parallelism is requested explicitly.  Setting a
+``spec_timeout`` forces pool execution even at ``jobs=1``: a wall-clock
+budget is only enforceable across a process boundary.
 """
 
 from __future__ import annotations
@@ -27,11 +38,16 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
+import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .faults import RunFailure, maybe_inject_fault
 from .specs import RunSpec, resolve_workload, stable_hash
 
 __all__ = [
@@ -70,13 +86,18 @@ def default_cache_dir() -> Path:
 # --------------------------------------------------------------- execution
 
 
-def execute_spec(spec: RunSpec) -> Any:
+def execute_spec(spec: RunSpec, attempt: int = 0) -> Any:
     """Run one spec to completion and return its result.
 
     Module-level (spawn-safe) dispatch over the spec's topology kind.  The
     rig modules are imported lazily: this module is imported by every figure
     module, and the microscopic/scheduler rigs live in figure modules.
+
+    ``attempt`` is the zero-based retry index; it exists so deterministic
+    fault injection (``REPRO_FAULT_INJECT``, checked here before the rig
+    runs) can fail the first N attempts and let a retry succeed.
     """
+    maybe_inject_fault(spec, attempt)
     aqm_factory = spec.aqm.build
     kwargs: Dict[str, Any] = dict(spec.extras)
     if spec.kind in ("star", "leafspine"):
@@ -122,6 +143,16 @@ def execute_spec(spec: RunSpec) -> Any:
     raise ValueError(f"unknown RunSpec kind {spec.kind!r}")
 
 
+def _guarded_execute(spec: RunSpec, attempt: int = 0) -> Any:
+    """Worker entry point: run a spec, converting any exception into a
+    picklable :class:`RunFailure` so nothing propagates (or fails to
+    pickle) across the process boundary."""
+    try:
+        return execute_spec(spec, attempt=attempt)
+    except Exception as exc:
+        return RunFailure.from_exception(spec, exc, attempts=attempt + 1)
+
+
 # ------------------------------------------------------------------ cache
 
 
@@ -144,17 +175,19 @@ class ResultCache:
     def path(self, spec: RunSpec) -> Path:
         return self.directory / f"{self.key(spec)}.pkl"
 
-    def load(self, spec: RunSpec) -> Optional[Any]:
+    def load(self, spec: RunSpec) -> Tuple[bool, Optional[Any]]:
+        """``(hit, result)`` -- presence-tagged so a legitimately-``None``
+        cached result replays instead of registering as a miss."""
         path = self.path(spec)
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
-            return None
+            return False, None
         if entry.get("spec") != spec.to_dict():
-            return None  # hash collision or corrupted entry
-        return entry.get("result")
+            return False, None  # hash collision or corrupted entry
+        return True, entry.get("result")
 
     def store(self, spec: RunSpec, result: Any) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -165,10 +198,23 @@ class ResultCache:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self.path(spec))
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._unlink_tmp(tmp)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            # An unpicklable result must not poison the sweep (or leak the
+            # temp file): skip the store, keep the in-memory result.
+            self._unlink_tmp(tmp)
+            warnings.warn(
+                f"result for {spec.token()} is not picklable and was not "
+                f"cached: {type(exc).__name__}: {exc}",
+                stacklevel=2,
+            )
+
+    @staticmethod
+    def _unlink_tmp(tmp: str) -> None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 # --------------------------------------------------------------- executor
@@ -181,12 +227,23 @@ class ExecutorStats:
     submitted: int = 0
     executed: int = 0
     cache_hits: int = 0
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    inline_fallbacks: int = 0
 
     def merge_line(self) -> str:
-        return (
+        line = (
             f"specs={self.submitted} executed={self.executed} "
             f"cache_hits={self.cache_hits}"
         )
+        if self.failed or self.retried or self.pool_rebuilds:
+            line += (
+                f" failed={self.failed} retried={self.retried} "
+                f"pool_rebuilds={self.pool_rebuilds}"
+            )
+        return line
 
 
 class Executor:
@@ -194,7 +251,17 @@ class Executor:
 
     ``jobs=1`` executes in-process (no pool, no pickling); ``jobs>1`` uses a
     spawn-context :class:`ProcessPoolExecutor`.  Results always come back in
-    submission order.
+    submission order; a spec that fails terminally comes back as a
+    :class:`RunFailure` in its slot rather than raising.
+
+    Args:
+        retries: extra attempts per failing spec (default 1, so each spec
+            runs at most twice before its failure is recorded).
+        spec_timeout: per-spec wall-clock budget in seconds; a spec still
+            running past it is abandoned (its worker killed, the pool
+            rebuilt) and recorded as a ``RunFailure(kind="timeout")``.
+            Requires process isolation, so setting it forces pool
+            execution even at ``jobs=1``.  ``None`` (default) disables it.
     """
 
     def __init__(
@@ -202,76 +269,303 @@ class Executor:
         jobs: int = 1,
         cache: bool = False,
         cache_dir: Optional[Path] = None,
+        retries: int = 1,
+        spec_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if spec_timeout is not None and spec_timeout <= 0:
+            raise ValueError("spec_timeout must be positive (or None)")
         self.jobs = jobs
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache else None
         )
+        self.retries = retries
+        self.spec_timeout = spec_timeout
         self.stats = ExecutorStats()
+        self.failures: List[RunFailure] = []
 
     @classmethod
     def from_env(cls) -> "Executor":
         """``REPRO_JOBS`` sets the worker count (default 1, in-process);
         the cache activates only when ``REPRO_CACHE_DIR`` names a directory,
-        so plain test runs never touch ``~/.cache``."""
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        try:
-            jobs = max(1, int(raw)) if raw else 1
-        except ValueError:
-            jobs = 1
+        so plain test runs never touch ``~/.cache``.  ``REPRO_RETRIES`` and
+        ``REPRO_SPEC_TIMEOUT`` configure the fault-tolerance knobs."""
+        jobs = _env_int("REPRO_JOBS", 1, minimum=1)
+        retries = _env_int("REPRO_RETRIES", 1, minimum=0)
+        timeout = _env_float("REPRO_SPEC_TIMEOUT", None)
+        if timeout is not None and timeout <= 0:
+            timeout = None  # 0 / negative = explicitly off
         cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
-        return cls(jobs=jobs, cache=bool(cache_dir),
-                   cache_dir=Path(cache_dir) if cache_dir else None)
+        return cls(
+            jobs=jobs,
+            cache=bool(cache_dir),
+            cache_dir=Path(cache_dir) if cache_dir else None,
+            retries=retries,
+            spec_timeout=timeout,
+        )
 
     def run(self, specs: Sequence[RunSpec]) -> List[Any]:
-        """Execute every spec (cache, then workers) in submission order."""
+        """Execute every spec (cache, then workers) in submission order.
+
+        Each slot of the returned list holds the spec's result, or a
+        :class:`RunFailure` if the spec failed terminally (after retries
+        and, for pool-structural failures, one in-process fallback).
+        """
         specs = list(specs)
         self.stats.submitted += len(specs)
         results: List[Any] = [None] * len(specs)
         pending: List[int] = []
         for index, spec in enumerate(specs):
-            cached = self.cache.load(spec) if self.cache else None
-            if cached is not None:
-                results[index] = cached
-                self.stats.cache_hits += 1
-                self._register_manifest(cached)
-            else:
-                pending.append(index)
+            if self.cache is not None:
+                hit, cached = self.cache.load(spec)
+                if hit:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    self._register_manifest(cached)
+                    continue
+            pending.append(index)
 
         if not pending:
             return results
         self.stats.executed += len(pending)
-        if self.jobs == 1 or len(pending) == 1:
-            for index in pending:
-                result = execute_spec(specs[index])
-                results[index] = result
-                if self.cache:
-                    self.cache.store(specs[index], result)
-        else:
+        # A wall-clock budget needs a process boundary to enforce, so a
+        # spec_timeout routes even jobs=1 through the pool.
+        use_pool = self.spec_timeout is not None or (
+            self.jobs > 1 and len(pending) > 1
+        )
+        if use_pool:
             self._run_pool(specs, pending, results)
+        else:
+            for index in pending:
+                self._settle(specs, index, self._run_inline(specs[index]), results)
         return results
+
+    # ------------------------------------------------------------ in-process
+
+    def _run_inline(self, spec: RunSpec, first_attempt: int = 0) -> Any:
+        """Run one spec in-process with retries; returns the result or the
+        final :class:`RunFailure`."""
+        outcome: Any = None
+        attempt = first_attempt
+        while True:
+            outcome = _guarded_execute(spec, attempt)
+            if not isinstance(outcome, RunFailure):
+                return outcome
+            if attempt - first_attempt >= self.retries:
+                return outcome
+            self.stats.retried += 1
+            attempt += 1
+
+    # ----------------------------------------------------------------- pool
 
     def _run_pool(
         self, specs: Sequence[RunSpec], pending: List[int], results: List[Any]
     ) -> None:
+        """Pool execution with failure isolation.
+
+        At most ``workers`` futures are in flight at once so that a
+        submitted future is (almost immediately) a *running* future --
+        that's what makes the per-spec wall-clock deadline meaningful.
+        Worker exceptions come back as :class:`RunFailure` values (never
+        raised); ``BrokenProcessPool`` and expired deadlines kill and
+        rebuild the pool, requeueing the innocent in-flight specs.
+        """
         context = multiprocessing.get_context("spawn")
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = {
-                pool.submit(execute_spec, specs[index]): index for index in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    result = future.result()
-                    results[index] = result
-                    if self.cache:
-                        self.cache.store(specs[index], result)
-                    self._register_manifest(result)
+        queue: deque = deque(pending)
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        futures: Dict[Any, Tuple[int, float]] = {}  # future -> (index, started)
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            while queue or futures:
+                pool = self._fill(pool, context, workers, queue, attempts,
+                                  futures, specs, results)
+                if not futures:
+                    continue
+                wait_timeout = None
+                if self.spec_timeout is not None:
+                    now = time.monotonic()
+                    next_deadline = min(
+                        started + self.spec_timeout
+                        for _, started in futures.values()
+                    )
+                    wait_timeout = max(0.0, next_deadline - now) + 0.05
+                done, _ = wait(
+                    set(futures), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if done:
+                    pool = self._collect(pool, context, workers, done, queue,
+                                         attempts, futures, specs, results)
+                else:
+                    pool = self._expire(pool, context, workers, queue,
+                                        attempts, futures, specs, results)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _fill(self, pool, context, workers, queue, attempts, futures,
+              specs, results):
+        """Top the pool up to one in-flight future per worker."""
+        while queue and len(futures) < workers:
+            index = queue.popleft()
+            try:
+                future = pool.submit(
+                    _guarded_execute, specs[index], attempts[index]
+                )
+            except (BrokenProcessPool, RuntimeError):
+                # The pool broke before we noticed (a worker died between
+                # batches).  This submission never ran: requeue it at the
+                # front without charging an attempt, fail over the
+                # in-flight futures, and rebuild.
+                queue.appendleft(index)
+                for doomed_index, _ in futures.values():
+                    self._worker_death(specs, doomed_index, attempts, queue,
+                                       results)
+                futures.clear()
+                return self._rebuild(pool, context, workers)
+            futures[future] = (index, time.monotonic())
+        return pool
+
+    def _collect(self, pool, context, workers, done, queue, attempts,
+                 futures, specs, results):
+        """Settle completed futures; recover if the pool broke."""
+        broken = False
+        for future in done:
+            index, _started = futures.pop(future)
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                self._worker_death(specs, index, attempts, queue, results,
+                                   detail=str(exc))
+                continue
+            except Exception as exc:
+                # Pool-structural failure that is not a broken pool, e.g.
+                # the result failed to unpickle in this process.
+                outcome = RunFailure.from_exception(
+                    specs[index], exc, attempts=attempts[index] + 1
+                )
+            self._settle_pool(specs, index, attempts, queue, outcome, results)
+        if broken:
+            # Every other in-flight future on the broken pool is doomed;
+            # fail them over now and requeue the survivors' specs.
+            for future, (index, _started) in list(futures.items()):
+                self._worker_death(specs, index, attempts, queue, results)
+            futures.clear()
+            pool = self._rebuild(pool, context, workers)
+        return pool
+
+    def _expire(self, pool, context, workers, queue, attempts, futures,
+                specs, results):
+        """Handle a wait() timeout: abandon overdue futures.
+
+        A hung worker cannot be cancelled, so the pool's processes are
+        killed and the pool rebuilt; in-flight specs that were *not*
+        overdue are requeued without being charged an attempt.
+        """
+        now = time.monotonic()
+        overdue = [
+            (future, index, started)
+            for future, (index, started) in futures.items()
+            if now - started >= self.spec_timeout
+        ]
+        if not overdue:
+            return pool  # spurious wakeup; the next wait() re-arms
+        for future, index, _started in overdue:
+            futures.pop(future)
+            if future.done():  # finished between wait() and the check
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    outcome = RunFailure.from_exception(
+                        specs[index], exc, attempts=attempts[index] + 1
+                    )
+                self._settle_pool(specs, index, attempts, queue, outcome,
+                                  results)
+                continue
+            self.stats.timeouts += 1
+            self._record_failure(
+                RunFailure.timeout(
+                    specs[index], self.spec_timeout, attempts[index] + 1
+                ),
+                index,
+                results,
+            )
+        for future, (index, _started) in list(futures.items()):
+            queue.appendleft(index)  # innocent bystanders: no attempt charged
+        futures.clear()
+        return self._rebuild(pool, context, workers, kill=True)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _settle_pool(self, specs, index, attempts, queue, outcome, results):
+        """Record one pool outcome: success, retry, or terminal failure."""
+        if not isinstance(outcome, RunFailure):
+            self._settle(specs, index, outcome, results)
+            return
+        attempts[index] += 1
+        if attempts[index] <= self.retries:
+            self.stats.retried += 1
+            queue.append(index)
+            return
+        self._record_failure(outcome, index, results)
+
+    def _worker_death(self, specs, index, attempts, queue, results,
+                      detail: str = "worker process died unexpectedly"):
+        """One future lost to a dead worker: retry, then fall back to one
+        in-process attempt (the failure is pool-structural, not the
+        spec's own exception, so the parent process gets the last word)."""
+        attempts[index] += 1
+        if attempts[index] <= self.retries:
+            self.stats.retried += 1
+            queue.append(index)
+            return
+        self.stats.inline_fallbacks += 1
+        outcome = self._run_inline(specs[index], first_attempt=attempts[index])
+        if isinstance(outcome, RunFailure):
+            self._record_failure(outcome, index, results)
+        else:
+            self._settle(specs, index, outcome, results)
+
+    def _settle(self, specs, index, outcome, results):
+        """Record a final outcome (success or failure) for one spec."""
+        if isinstance(outcome, RunFailure):
+            self._record_failure(outcome, index, results)
+            return
+        results[index] = outcome
+        if self.cache is not None:
+            self.cache.store(specs[index], outcome)
+        self._register_manifest(outcome)
+
+    def _record_failure(self, failure: RunFailure, index, results) -> None:
+        results[index] = failure
+        self.failures.append(failure)
+        self.stats.failed += 1
+        from ..telemetry.runtime import get_active
+
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.on_run_failure(failure)
+
+    def _rebuild(self, pool, context, workers, kill: bool = False):
+        """Replace a broken/poisoned pool; ``kill`` terminates workers that
+        will never exit on their own (hung ones)."""
+        self.stats.pool_rebuilds += 1
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        if kill:
+            for process in processes:
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                except (OSError, ValueError):
+                    pass
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
 
     @staticmethod
     def _register_manifest(result: Any) -> None:
@@ -287,6 +581,34 @@ class Executor:
             telemetry.add_manifest(manifest)
 
 
+def _env_int(name: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(minimum, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not an integer; using {default}",
+            stacklevel=3,
+        )
+        return default
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not a number; using {default}",
+            stacklevel=3,
+        )
+        return default
+
+
 # ------------------------------------------------------- process default
 
 _default_executor: Optional[Executor] = None
@@ -295,9 +617,9 @@ _default_executor: Optional[Executor] = None
 def get_default_executor() -> Executor:
     """The executor used when a figure/runner is not handed one explicitly.
 
-    Lazily built from the environment (``REPRO_JOBS``/``REPRO_CACHE_DIR``)
-    on first use; the CLI and the benchmark harness install their own via
-    :func:`set_default_executor`.
+    Lazily built from the environment (``REPRO_JOBS``/``REPRO_CACHE_DIR``/
+    ``REPRO_RETRIES``/``REPRO_SPEC_TIMEOUT``) on first use; the CLI and the
+    benchmark harness install their own via :func:`set_default_executor`.
     """
     global _default_executor
     if _default_executor is None:
@@ -333,7 +655,11 @@ def run_grid(
     one executor pass (maximal parallelism), and pool each cell's results.
 
     ``pool`` defaults to :func:`repro.experiments.runner.pool_results`, the
-    paper's average-of-N-seeds methodology.
+    paper's average-of-N-seeds methodology.  The default pool carries any
+    :class:`RunFailure` entries on the pooled result's ``failures`` list
+    and degrades a fully-failed cell to a
+    :class:`~repro.experiments.faults.FailedCell` (renders as gaps);
+    custom ``pool`` callables receive the raw result/failure mix.
     """
     executor = executor or get_default_executor()
     if pool is None:

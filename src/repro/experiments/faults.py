@@ -1,0 +1,287 @@
+"""Fault-tolerance primitives for the experiment pipeline.
+
+The paper's figures are grids of hundreds of independent DES cells; at that
+scale one crashed, hung or OOM-killed worker must degrade to a *recorded*
+failure, not abort the sweep.  This module provides the pieces the executor
+and the downstream pooling/figure/CLI layers share:
+
+* :class:`RunFailure` -- a typed, picklable record of one cell's death
+  (spec identity, exception type/message, traceback text, attempt count),
+  safe to ship across the spawn process boundary and into telemetry
+  snapshots;
+* :class:`FailedCell` -- the stand-in for a pooled cell whose every seed
+  failed; it duck-types the parts of ``ExperimentResult`` the figure
+  modules consume (empty summary/collector, zeroed counters) so tables
+  render with gaps instead of crashing;
+* deterministic fault injection -- ``REPRO_FAULT_INJECT`` directives
+  consumed by :func:`maybe_inject_fault` at the top of
+  :func:`repro.experiments.executor.execute_spec`, so every recovery path
+  (exception, hang+timeout, worker exit, retry-then-succeed) is testable
+  without flaky timing.
+
+Injection grammar (``;``-separated directives)::
+
+    REPRO_FAULT_INJECT="raise:<substr>[:<max_attempt>];hang:<substr>;exit:<substr>"
+
+``<substr>`` is substring-matched against :meth:`RunSpec.token`
+(``kind|label|seed=N|hash16``); an empty substring matches every spec.
+``raise`` throws :class:`InjectedFault`; ``hang`` sleeps forever (pair it
+with the executor's ``spec_timeout``); ``exit`` kills the worker process
+with ``os._exit`` (in the main process it raises instead -- a hard exit
+there would defeat the harness the hook exists to test).  The optional
+``<max_attempt>`` fires the fault only while ``attempt < max_attempt``,
+which is how retry-then-succeed is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback as traceback_module
+import warnings
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..sim.engine import SimulationStalled
+from .fct import FctCollector, FctSummary
+from .specs import RunSpec
+
+__all__ = [
+    "FAULT_INJECT_ENV",
+    "InjectedFault",
+    "RunFailure",
+    "FailedCell",
+    "is_failure",
+    "gather_failures",
+    "maybe_inject_fault",
+    "parse_fault_directives",
+]
+
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+_FAULT_ACTIONS = ("raise", "hang", "exit")
+
+
+class InjectedFault(RuntimeError):
+    """The exception thrown by ``raise`` fault-injection directives (and
+    by ``exit`` directives executing in the main process)."""
+
+
+# ----------------------------------------------------------------- records
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One cell's terminal failure, in picklable plain-data form.
+
+    ``kind`` is the recovery path that produced it:
+
+    * ``"exception"`` -- the run raised; ``exc_type``/``message``/
+      ``traceback`` carry the worker-side details as text.
+    * ``"stall"`` -- the engine raised :class:`SimulationStalled`.
+    * ``"timeout"`` -- the spec exceeded the executor's per-spec
+      wall-clock budget and its worker was abandoned.
+    * ``"worker-exit"`` -- the worker process died (OOM kill,
+      ``os._exit``) and the in-process fallback was not attempted or
+      could not identify a survivor.
+    """
+
+    spec_key: str  # RunSpec.token(): kind|label|seed=N|hash16
+    kind: str
+    label: str = ""
+    seed: Optional[int] = None
+    exc_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(
+        cls, spec: RunSpec, exc: BaseException, attempts: int
+    ) -> "RunFailure":
+        kind = "stall" if isinstance(exc, SimulationStalled) else "exception"
+        return cls(
+            spec_key=spec.token(),
+            kind=kind,
+            label=spec.label or spec.aqm.kind,
+            seed=spec.seed,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+        )
+
+    @classmethod
+    def timeout(cls, spec: RunSpec, timeout_seconds: float, attempts: int) -> "RunFailure":
+        return cls(
+            spec_key=spec.token(),
+            kind="timeout",
+            label=spec.label or spec.aqm.kind,
+            seed=spec.seed,
+            exc_type="TimeoutError",
+            message=(
+                f"spec exceeded the {timeout_seconds:g}s wall-clock budget; "
+                "worker abandoned"
+            ),
+            attempts=attempts,
+        )
+
+    @classmethod
+    def worker_exit(cls, spec: RunSpec, detail: str, attempts: int) -> "RunFailure":
+        return cls(
+            spec_key=spec.token(),
+            kind="worker-exit",
+            label=spec.label or spec.aqm.kind,
+            seed=spec.seed,
+            exc_type="BrokenProcessPool",
+            message=detail,
+            attempts=attempts,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_key": self.spec_key,
+            "kind": self.kind,
+            "label": self.label,
+            "seed": self.seed,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    def summary_line(self) -> str:
+        detail = f"{self.exc_type}: {self.message}" if self.exc_type else self.message
+        return f"{self.spec_key} [{self.kind} after {self.attempts} attempt(s)] {detail}"
+
+
+class FailedCell:
+    """Pooled stand-in for a cell whose every seed run failed.
+
+    Duck-types the slice of ``ExperimentResult`` the figure modules read
+    (``summary``/``collector`` empty, counters zero, no manifest), so a
+    grid with dead cells still renders -- with "-" gaps where the paper's
+    numbers would be -- instead of crashing the whole figure.
+    """
+
+    def __init__(self, failures: Sequence[RunFailure]) -> None:
+        self.failures: List[RunFailure] = list(failures)
+        self.collector = FctCollector()
+        self.manifest = None
+        self.marks = 0
+        self.instant_marks = 0
+        self.persistent_marks = 0
+        self.drops = 0
+        self.timeouts = 0
+        self.sim_duration = 0.0
+        self.events = 0
+
+    @property
+    def summary(self) -> FctSummary:
+        return FctSummary.from_records([])
+
+    @property
+    def n_flows(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FailedCell {len(self.failures)} failure(s)>"
+
+
+def is_failure(obj: Any) -> bool:
+    """Whether ``obj`` is a failure marker rather than a usable result."""
+    return isinstance(obj, (RunFailure, FailedCell))
+
+
+def gather_failures(results: Sequence[Any]) -> List[RunFailure]:
+    """Flatten the failure records out of a mixed result/failure sequence
+    (``FailedCell`` entries contribute their member failures)."""
+    failures: List[RunFailure] = []
+    for result in results:
+        if isinstance(result, RunFailure):
+            failures.append(result)
+        elif isinstance(result, FailedCell):
+            failures.extend(result.failures)
+        else:
+            failures.extend(getattr(result, "failures", ()))
+    return failures
+
+
+# --------------------------------------------------------- fault injection
+
+
+def parse_fault_directives(
+    raw: Optional[str] = None,
+) -> Tuple[Tuple[str, str, Optional[int]], ...]:
+    """Parse ``REPRO_FAULT_INJECT`` into ``(action, substr, max_attempt)``
+    triples; unknown actions or malformed attempt counts warn and are
+    skipped (an injection typo must not take down a real sweep)."""
+    if raw is None:
+        raw = os.environ.get(FAULT_INJECT_ENV, "")
+    directives: List[Tuple[str, str, Optional[int]]] = []
+    for part in raw.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        action = pieces[0].strip().lower()
+        if action not in _FAULT_ACTIONS:
+            warnings.warn(
+                f"{FAULT_INJECT_ENV}: unknown action {action!r} in {part!r} "
+                f"(expected one of {_FAULT_ACTIONS}); directive skipped",
+                stacklevel=2,
+            )
+            continue
+        substr = pieces[1] if len(pieces) > 1 else ""
+        max_attempt: Optional[int] = None
+        if len(pieces) > 2 and pieces[2].strip():
+            try:
+                max_attempt = int(pieces[2])
+            except ValueError:
+                warnings.warn(
+                    f"{FAULT_INJECT_ENV}: max-attempt {pieces[2]!r} in {part!r} "
+                    "is not an integer; directive skipped",
+                    stacklevel=2,
+                )
+                continue
+        directives.append((action, substr, max_attempt))
+    return tuple(directives)
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def maybe_inject_fault(spec: RunSpec, attempt: int) -> None:
+    """Fire any ``REPRO_FAULT_INJECT`` directive matching ``spec``.
+
+    Called at the top of ``execute_spec`` in whichever process runs the
+    spec (workers inherit the environment at spawn).  ``attempt`` is the
+    zero-based retry index; a directive with ``max_attempt`` only fires
+    while ``attempt < max_attempt``.
+    """
+    directives = parse_fault_directives()
+    if not directives:
+        return
+    token = spec.token()
+    for action, substr, max_attempt in directives:
+        if substr and substr not in token:
+            continue
+        if max_attempt is not None and attempt >= max_attempt:
+            continue
+        if action == "raise":
+            raise InjectedFault(
+                f"injected fault for {token} (attempt {attempt})"
+            )
+        if action == "hang":
+            while True:  # parent-side spec_timeout is the only way out
+                time.sleep(3600.0)
+        if action == "exit":
+            if _in_worker_process():
+                os._exit(17)
+            raise InjectedFault(
+                f"injected worker-exit for {token} (attempt {attempt}; "
+                "raised instead of exiting: not in a worker process)"
+            )

@@ -25,6 +25,7 @@ from ...sim.units import gbps, mb, ms, us
 from ...topology.star import build_incast
 from ...workloads.arrivals import TransportConfig
 from ...workloads.incast import launch_query
+from ..faults import is_failure
 from ..fct import FctCollector
 from ..report import format_table
 from ..runner import estimate_star_network_rtt
@@ -199,6 +200,10 @@ def render(result: Fig10Result) -> str:
     """Render the standing-queue / burst table."""
     rows: List[List[str]] = []
     for name, run in result.runs.items():
+        if run is None or is_failure(run):
+            kind = getattr(run, "kind", "failed")
+            rows.append([name, "-", "-", "-", "-", "-", f"({kind})"])
+            continue
         rows.append(
             [
                 name,

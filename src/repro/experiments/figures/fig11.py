@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..executor import Executor, get_default_executor
+from ..faults import is_failure
 from ..report import fmt_opt, format_table
 from ..schemes import simulation_scheme_specs
 from ..specs import RunSpec
@@ -33,17 +34,25 @@ class Fig11Result:
     runs: Dict[int, Dict[str, MicroscopicRun]]
 
     def avg_query_fct(self, fanout: int, scheme: str) -> Optional[float]:
-        fcts = self.runs[fanout][scheme].query_fcts
+        run = self.runs[fanout][scheme]
+        if is_failure(run):
+            return None
+        fcts = run.query_fcts
         return float(np.mean(fcts)) if fcts else None
 
     def p99_query_fct(self, fanout: int, scheme: str) -> Optional[float]:
-        fcts = self.runs[fanout][scheme].query_fcts
+        run = self.runs[fanout][scheme]
+        if is_failure(run):
+            return None
+        fcts = run.query_fcts
         return float(np.percentile(fcts, 99)) if fcts else None
 
     def first_loss_fanout(self, scheme: str) -> Optional[int]:
-        """Smallest fanout at which the scheme drops packets."""
+        """Smallest fanout at which the scheme drops packets (failed cells
+        cannot attest either way, so they are skipped)."""
         for fanout in self.fanouts:
-            if self.runs[fanout][scheme].drops > 0:
+            run = self.runs[fanout][scheme]
+            if not is_failure(run) and run.drops > 0:
                 return fanout
         return None
 
@@ -76,6 +85,10 @@ def render(result: Fig11Result) -> str:
     for fanout in result.fanouts:
         for scheme in result.schemes:
             run = result.runs[fanout][scheme]
+            if is_failure(run):
+                kind = getattr(run, "kind", "failed")
+                rows.append([str(fanout), scheme, "-", "-", "-", f"({kind})"])
+                continue
             avg = result.avg_query_fct(fanout, scheme)
             p99 = result.p99_query_fct(fanout, scheme)
             rows.append(

@@ -27,6 +27,7 @@ from ...sim.units import gbps, ms, us
 from ...tcp.factory import FlowHandle, open_flow
 from ...topology.star import build_star
 from ...workloads.arrivals import TransportConfig
+from ..faults import is_failure
 from ..fct import FctCollector
 from ..report import fmt_opt, format_table
 
@@ -62,9 +63,16 @@ class Fig13Result:
     runs: Dict[str, SchedulerRun]
 
     def probe_fct_ratio(self) -> Optional[float]:
-        """ECN# average probe FCT over TCN's (paper: ~0.80)."""
-        mine = self.runs["ECN#"].avg_probe_fct()
-        theirs = self.runs["TCN"].avg_probe_fct()
+        """ECN# average probe FCT over TCN's (paper: ~0.80); ``None`` when
+        either side's run failed."""
+        ecn_sharp = self.runs.get("ECN#")
+        tcn = self.runs.get("TCN")
+        if ecn_sharp is None or tcn is None:
+            return None
+        if is_failure(ecn_sharp) or is_failure(tcn):
+            return None
+        mine = ecn_sharp.avg_probe_fct()
+        theirs = tcn.avg_probe_fct()
         if mine is None or theirs is None or theirs == 0:
             return None
         return mine / theirs
@@ -194,6 +202,10 @@ def render(result: Fig13Result) -> str:
     """Render the goodput staircase plus the probe-FCT comparison."""
     rows: List[List[str]] = []
     for name, run in result.runs.items():
+        if is_failure(run):
+            kind = getattr(run, "kind", "failed")
+            rows.append([name, f"({kind})", "-", "-", "-"])
+            continue
         for phase_index, phase_goodputs in enumerate(run.goodputs):
             rows.append(
                 [
@@ -213,7 +225,10 @@ def render(result: Fig13Result) -> str:
     fct_lines = [
         f"{name}: avg probe FCT = "
         + fmt_opt(
-            (run.avg_probe_fct() or 0) * 1e6 if run.avg_probe_fct() else None, ".0f"
+            None
+            if is_failure(run) or not run.avg_probe_fct()
+            else run.avg_probe_fct() * 1e6,
+            ".0f",
         )
         + "us"
         for name, run in result.runs.items()

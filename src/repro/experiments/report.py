@@ -15,6 +15,7 @@ __all__ = [
     "fmt_ratio",
     "fmt_opt",
     "format_manifest",
+    "format_failure_table",
     "format_trace_summary",
 ]
 
@@ -86,6 +87,30 @@ def format_manifest(manifest) -> str:
     if manifest.wall_seconds is not None:
         parts.append(f"wall={manifest.wall_seconds:.1f}s")
     return " ".join(parts)
+
+
+def format_failure_table(failures: Sequence[object]) -> str:
+    """Render the executor's :class:`RunFailure` records as a table.
+
+    One row per failed cell: the spec token, the failure kind (exception /
+    stall / timeout / worker-exit), the attempt count, and the exception
+    headline.  Tracebacks stay out of the table; they live on the records
+    (and in the telemetry snapshot) for forensics."""
+    rows: List[List[str]] = []
+    for failure in failures:
+        detail = failure.message
+        if failure.exc_type:
+            detail = f"{failure.exc_type}: {failure.message}"
+        if len(detail) > 72:
+            detail = detail[:69] + "..."
+        rows.append(
+            [failure.spec_key, failure.kind, str(failure.attempts), detail]
+        )
+    return format_table(
+        ["spec", "kind", "attempts", "error"],
+        rows,
+        title=f"{len(rows)} run(s) failed (surviving cells rendered with gaps):",
+    )
 
 
 def format_trace_summary(recorder) -> str:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +34,7 @@ from ..workloads.arrivals import (
     star_pair_picker,
 )
 from ..workloads.distributions import EmpiricalCdf
+from .faults import FailedCell, RunFailure
 from .fct import FctCollector, FctSummary
 from .specs import AqmSpec, RunSpec
 
@@ -133,6 +134,9 @@ class ExperimentResult:
     sim_duration: float
     events: int
     manifest: Optional[RunManifest] = None
+    failures: List[RunFailure] = field(default_factory=list)
+    """Failure records carried by a pooled result whose cell lost some (but
+    not all) of its seed runs; empty for a clean single run."""
 
     @property
     def n_flows(self) -> int:
@@ -149,9 +153,33 @@ def estimate_star_network_rtt(
     return 4.0 * link_delay + 2.0 * data_tx + 2.0 * ack_tx
 
 
+def _stall_budget() -> int:
+    """Dispatch budget for one run's drain; ``REPRO_STALL_EVENTS`` lowers
+    it (e.g. to force a quick :class:`SimulationStalled` in tests)."""
+    raw = os.environ.get("REPRO_STALL_EVENTS", "").strip()
+    if not raw:
+        return MAX_EVENTS_PER_RUN
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"REPRO_STALL_EVENTS={raw!r} is not an integer; "
+            f"using {MAX_EVENTS_PER_RUN}",
+            stacklevel=2,
+        )
+        return MAX_EVENTS_PER_RUN
+
+
 def _drain(network, collector: FctCollector, expected: int) -> None:
-    """Run the event loop to completion and verify every flow finished."""
-    network.sim.run_until_idle(max_events=MAX_EVENTS_PER_RUN)
+    """Run the event loop to completion and verify every flow finished.
+
+    ``run_until_idle`` raises :class:`~repro.sim.SimulationStalled` if the
+    dispatch budget runs out with events still pending, so a wedged run
+    surfaces as a typed failure record instead of a silently truncated
+    result.  A drained loop with incomplete flows (events exhausted
+    *cleanly* -- e.g. every remaining flow lost its retransmission timer)
+    is still an error."""
+    network.sim.run_until_idle(max_events=_stall_budget())
     if len(collector) < expected:
         raise RuntimeError(
             f"only {len(collector)}/{expected} flows completed; "
@@ -260,26 +288,40 @@ def run_star_fct(
     return _result(switch_ports, topo.network, collector, manifest=manifest)
 
 
-def pool_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
+def pool_results(
+    results: Sequence[Union[ExperimentResult, RunFailure]],
+) -> Union[ExperimentResult, FailedCell]:
     """Merge independent runs of the same configuration (different seeds)
     into one result, pooling flow records -- the reproduction's equivalent
-    of the paper's average-of-three-runs methodology."""
+    of the paper's average-of-three-runs methodology.
+
+    Failure isolation: :class:`RunFailure` entries (from the executor's
+    fault-tolerance layer) are pooled *around*.  The surviving seeds merge
+    exactly as if the dead ones had never been requested, and the failure
+    records ride along on the pooled result's ``failures`` list.  A cell
+    with no survivors degrades to a :class:`FailedCell`, which renders as
+    gaps downstream instead of crashing the figure."""
     if not results:
         raise ValueError("need at least one result to pool")
+    failures = [r for r in results if isinstance(r, RunFailure)]
+    usable = [r for r in results if not isinstance(r, RunFailure)]
+    if not usable:
+        return FailedCell(failures)
     merged = FctCollector()
-    for result in results:
+    for result in usable:
         merged.records.extend(result.collector.records)
     return ExperimentResult(
         summary=merged.summary(),
         collector=merged,
-        marks=sum(r.marks for r in results),
-        instant_marks=sum(r.instant_marks for r in results),
-        persistent_marks=sum(r.persistent_marks for r in results),
-        drops=sum(r.drops for r in results),
-        timeouts=sum(r.timeouts for r in results),
-        sim_duration=max(r.sim_duration for r in results),
-        events=sum(r.events for r in results),
-        manifest=_pooled_manifest(results),
+        marks=sum(r.marks for r in usable),
+        instant_marks=sum(r.instant_marks for r in usable),
+        persistent_marks=sum(r.persistent_marks for r in usable),
+        drops=sum(r.drops for r in usable),
+        timeouts=sum(r.timeouts for r in usable),
+        sim_duration=max(r.sim_duration for r in usable),
+        events=sum(r.events for r in usable),
+        manifest=_pooled_manifest(usable),
+        failures=failures,
     )
 
 

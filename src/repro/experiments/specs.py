@@ -231,3 +231,15 @@ class RunSpec:
     def spec_hash(self) -> str:
         """Stable content hash of the spec (the cache key's spec half)."""
         return stable_hash(self.to_dict())
+
+    def token(self) -> str:
+        """Human-matchable identity string, ``kind|label|seed=N|hash16``.
+
+        This is what ``REPRO_FAULT_INJECT`` directives substring-match and
+        what failure records/summary tables display, so one format serves
+        both injection targeting ("seed=4|", "ECN#") and forensics.
+        """
+        return (
+            f"{self.kind}|{self.label or self.aqm.kind}|"
+            f"seed={self.seed}|{self.spec_hash()[:16]}"
+        )

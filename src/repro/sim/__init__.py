@@ -1,7 +1,7 @@
 """Packet-level discrete-event network simulator (the ns-3/testbed substitute)."""
 
 from . import units
-from .engine import SimulationError, Simulator, Timer
+from .engine import SimulationError, SimulationStalled, Simulator, Timer
 from .monitor import DropTracer, QueueMonitor, QueueSample
 from .network import Host, Network, Node, Switch
 from .packet import Ecn, Packet, PacketFactory
@@ -12,6 +12,7 @@ from .scheduler import DwrrScheduler, FifoScheduler, Scheduler, StrictPrioritySc
 __all__ = [
     "units",
     "SimulationError",
+    "SimulationStalled",
     "Simulator",
     "Timer",
     "DropTracer",

@@ -20,11 +20,35 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..telemetry.profiler import HEAP_SAMPLE_MASK, RunProfiler
 from ..telemetry.runtime import get_active
 
-__all__ = ["Simulator", "Timer", "SimulationError"]
+__all__ = ["Simulator", "Timer", "SimulationError", "SimulationStalled"]
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class SimulationStalled(SimulationError):
+    """The event loop is stuck: the dispatch budget ran out with events
+    still pending (``reason="budget"``), or the loop dispatched
+    ``no_progress_limit`` consecutive events without the virtual clock
+    advancing (``reason="no-progress"``).
+
+    Carries the forensic state a failure record needs: the virtual clock,
+    the number of events dispatched by the stalled ``run()`` call, and the
+    heap size at the moment of the stall.
+    """
+
+    def __init__(
+        self, clock: float, events: int, pending: int, reason: str = "budget"
+    ) -> None:
+        self.clock = clock
+        self.events = events
+        self.pending = pending
+        self.reason = reason
+        super().__init__(
+            f"simulation stalled ({reason}): clock={clock:.9f}s after "
+            f"{events} events with {pending} events still pending"
+        )
 
 
 class Simulator:
@@ -97,13 +121,27 @@ class Simulator:
         self._sequence += 1
         heappush(self._heap, (when, self._sequence, callback, args))
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        raise_on_stall: bool = False,
+        no_progress_limit: Optional[int] = None,
+    ) -> None:
         """Dispatch events in time order.
 
         Stops when the event queue drains, when the next event lies beyond
         ``until``, or after ``max_events`` dispatches.  On an ``until`` stop
         the clock is advanced to ``until`` so that subsequent scheduling is
         relative to the requested horizon.
+
+        ``raise_on_stall=True`` turns a ``max_events`` exhaustion with
+        events still runnable into a :class:`SimulationStalled` instead of
+        a silent truncation (callers using ``max_events`` as a cooperative
+        budget keep the default).  ``no_progress_limit`` additionally
+        raises when that many consecutive events dispatch without the
+        virtual clock advancing -- the signature of an event loop
+        rescheduling itself at the same instant forever.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -118,7 +156,7 @@ class Simulator:
             start_events = self._events_processed
             limit = None if max_events is None else start_events + max_events
             profiler = self._profiler
-            if profiler is None:
+            if profiler is None and no_progress_limit is None:
                 if until is None:
                     # The dominant path (run_until_idle): no horizon check,
                     # and the budget folds into the loop condition.
@@ -146,9 +184,13 @@ class Simulator:
                         callback(*args)
                         self._events_processed += 1
             else:
+                # Instrumented loop: profiler and/or no-progress detection.
                 wall_start = perf_counter()
                 virtual_start = self._now
                 peak_heap = len(heap)
+                last_clock = self._now
+                same_clock = 0
+                no_progress_stall = False
                 while heap:
                     when = heap[0][0]
                     if until is not None and when > until:
@@ -159,25 +201,72 @@ class Simulator:
                     self._now = when
                     callback(*args)
                     self._events_processed += 1
+                    if no_progress_limit is not None:
+                        if when > last_clock:
+                            last_clock = when
+                            same_clock = 0
+                        else:
+                            same_clock += 1
+                            if same_clock >= no_progress_limit:
+                                no_progress_stall = True
+                                break
                     if (
-                        self._events_processed & HEAP_SAMPLE_MASK == 0
+                        profiler is not None
+                        and self._events_processed & HEAP_SAMPLE_MASK == 0
                         and len(heap) > peak_heap
                     ):
                         peak_heap = len(heap)
-                profiler.record_run(
+                if profiler is not None:
+                    profiler.record_run(
+                        events=self._events_processed - start_events,
+                        wall_seconds=perf_counter() - wall_start,
+                        virtual_seconds=self._now - virtual_start,
+                        peak_heap_depth=peak_heap,
+                    )
+                if no_progress_stall:
+                    raise SimulationStalled(
+                        clock=self._now,
+                        events=self._events_processed - start_events,
+                        pending=len(heap),
+                        reason="no-progress",
+                    )
+            if (
+                raise_on_stall
+                and limit is not None
+                and self._events_processed >= limit
+                and heap
+                and (until is None or heap[0][0] <= until)
+            ):
+                raise SimulationStalled(
+                    clock=self._now,
                     events=self._events_processed - start_events,
-                    wall_seconds=perf_counter() - wall_start,
-                    virtual_seconds=self._now - virtual_start,
-                    peak_heap_depth=peak_heap,
+                    pending=len(heap),
+                    reason="budget",
                 )
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
 
-    def run_until_idle(self, max_events: int = 100_000_000) -> None:
-        """Run until no events remain (bounded by ``max_events``)."""
-        self.run(until=None, max_events=max_events)
+    def run_until_idle(
+        self,
+        max_events: int = 100_000_000,
+        raise_on_stall: bool = True,
+        no_progress_limit: Optional[int] = None,
+    ) -> None:
+        """Run until no events remain (bounded by ``max_events``).
+
+        Exhausting ``max_events`` with events still queued means the run
+        did not reach idle -- by default that raises
+        :class:`SimulationStalled` (with the clock, dispatch count and
+        heap size) instead of returning a silently truncated simulation.
+        """
+        self.run(
+            until=None,
+            max_events=max_events,
+            raise_on_stall=raise_on_stall,
+            no_progress_limit=no_progress_limit,
+        )
 
 
 class Timer:

@@ -28,6 +28,7 @@ CATEGORIES: tuple = (
     "timer",   # retransmission-timeout firing
     "rate",    # DCQCN rate-control update
     "flow",    # flow start / completion
+    "failure", # experiment-level run failure (crash, stall, timeout, ...)
 )
 """Every category the built-in instrumentation emits."""
 

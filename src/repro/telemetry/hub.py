@@ -68,6 +68,7 @@ class Telemetry:
         self._snapshotters: Dict[int, Snapshotter] = {}
         self._sim_ports: Dict[int, List] = {}
         self.manifests: List = []
+        self.failures: List = []  # RunFailure records from the executor
 
     @property
     def instruments_dataplane(self) -> bool:
@@ -107,6 +108,22 @@ class Telemetry:
 
     def add_manifest(self, manifest) -> None:
         self.manifests.append(manifest)
+
+    # ------------------------------------------------------- executor hooks
+
+    def on_run_failure(self, failure) -> None:
+        """Record one terminal run failure (an executor ``RunFailure``):
+        provenance for the manifest, a counter by failure kind, and a
+        flight-recorder event when the ``failure`` category is enabled."""
+        self.failures.append(failure)
+        self.registry.counter("run_failures_total", kind=failure.kind).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("failure"):
+            recorder.emit(
+                0.0, "failure", failure.kind,
+                spec=failure.spec_key, exc=failure.exc_type,
+                message=failure.message, attempts=failure.attempts,
+            )
 
     # ------------------------------------------------------ data-plane hooks
 
@@ -236,4 +253,6 @@ class Telemetry:
             }
         if self.manifests:
             data["manifests"] = [m.to_dict() for m in self.manifests]
+        if self.failures:
+            data["failures"] = [f.to_dict() for f in self.failures]
         return data

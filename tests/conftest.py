@@ -19,6 +19,10 @@ def _hermetic_executor(tmp_path, monkeypatch):
     from repro.experiments.executor import set_default_executor
 
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_SPEC_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    monkeypatch.delenv("REPRO_STALL_EVENTS", raising=False)
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     previous = set_default_executor(None)
     yield

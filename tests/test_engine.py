@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import SimulationError, Simulator, Timer
+from repro.sim.engine import (
+    SimulationError,
+    SimulationStalled,
+    Simulator,
+    Timer,
+)
 
 
 class TestScheduling:
@@ -159,6 +164,82 @@ class TestRunControl:
 
         sim.schedule(0.1, nested)
         sim.run()
+
+
+class TestStallDetection:
+    def _self_scheduling_loop(self, sim, delay):
+        """An event loop that reschedules itself forever."""
+
+        def tick():
+            sim.schedule(delay, tick)
+
+        sim.schedule(delay, tick)
+
+    def test_budget_exhaustion_raises_when_opted_in(self, sim):
+        self._self_scheduling_loop(sim, delay=0.001)
+        with pytest.raises(SimulationStalled) as caught:
+            sim.run(max_events=25, raise_on_stall=True)
+        stall = caught.value
+        assert stall.reason == "budget"
+        assert stall.events == 25
+        assert stall.pending >= 1
+        assert stall.clock == pytest.approx(sim.now)
+        assert isinstance(stall, SimulationError)  # typed, catchable
+
+    def test_budget_exhaustion_silent_by_default(self, sim):
+        # run(max_events=N) is a cooperative budget for incremental
+        # dispatch (tests, benchmarks); only opting in raises.
+        self._self_scheduling_loop(sim, delay=0.001)
+        sim.run(max_events=25)
+        assert sim.events_processed == 25
+
+    def test_run_until_idle_raises_on_stall_by_default(self, sim):
+        self._self_scheduling_loop(sim, delay=0.001)
+        with pytest.raises(SimulationStalled, match="budget"):
+            sim.run_until_idle(max_events=50)
+
+    def test_no_stall_when_budget_exactly_drains(self, sim):
+        for index in range(5):
+            sim.schedule(0.1 * (index + 1), lambda: None)
+        sim.run(max_events=5, raise_on_stall=True)  # heap empty: no stall
+        assert sim.pending_events == 0
+
+    def test_until_stop_is_not_a_stall(self, sim):
+        # Budget exhausted, but every remaining event lies beyond the
+        # horizon: the run legitimately stopped at `until`.
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=1.0, max_events=1, raise_on_stall=True)
+        assert sim.now == 1.0
+
+    def test_no_progress_detector_catches_zero_delay_loop(self, sim):
+        self._self_scheduling_loop(sim, delay=0.0)
+        with pytest.raises(SimulationStalled) as caught:
+            sim.run(no_progress_limit=100)
+        assert caught.value.reason == "no-progress"
+        assert caught.value.events >= 100
+
+    def test_no_progress_detector_allows_advancing_clock(self, sim):
+        count = []
+
+        def chain(n):
+            count.append(n)
+            if n > 0:
+                sim.schedule(0.01, chain, n - 1)
+
+        sim.schedule(0.0, chain, 300)
+        sim.run(no_progress_limit=10)  # clock advances every event
+        assert len(count) == 301
+
+    def test_no_progress_detector_records_profiler_run(self, sim):
+        from repro.telemetry import RunProfiler
+
+        profiler = RunProfiler()
+        sim.profiler = profiler
+        self._self_scheduling_loop(sim, delay=0.0)
+        with pytest.raises(SimulationStalled):
+            sim.run(no_progress_limit=50)
+        assert profiler.runs == 1  # the stalled run still gets recorded
 
 
 class TestTimer:

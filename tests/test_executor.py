@@ -185,8 +185,24 @@ class TestResultCache:
         monkeypatch.setattr(executor_module, "CACHE_SCHEMA_VERSION", 2)
         assert cache.key(spec) != before
 
-    def test_missing_entry_is_none(self, tmp_path):
-        assert ResultCache(tmp_path).load(tiny_spec()) is None
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        assert ResultCache(tmp_path).load(tiny_spec()) == (False, None)
+
+    def test_none_result_is_a_hit(self, tmp_path):
+        # A legitimately-None cached result must replay as a hit, not
+        # silently re-execute every time (the presence tag is the point).
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.store(spec, None)
+        assert cache.load(spec) == (True, None)
+
+    def test_unpicklable_result_skips_store_without_tmp_leak(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        with pytest.warns(UserWarning, match="not picklable"):
+            cache.store(spec, lambda: None)  # lambdas cannot pickle
+        assert cache.load(spec) == (False, None)
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestRunGrid:
@@ -222,6 +238,33 @@ class TestDefaultExecutor:
         executor = Executor.from_env()
         assert executor.jobs == 1
         assert executor.cache is None
+        assert executor.retries == 1
+        assert executor.spec_timeout is None
+
+    def test_from_env_warns_on_unparseable_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            executor = Executor.from_env()
+        assert executor.jobs == 1
+
+    def test_from_env_reads_fault_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        monkeypatch.setenv("REPRO_SPEC_TIMEOUT", "2.5")
+        executor = Executor.from_env()
+        assert executor.retries == 3
+        assert executor.spec_timeout == 2.5
+
+    def test_from_env_warns_on_unparseable_fault_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "lots")
+        monkeypatch.setenv("REPRO_SPEC_TIMEOUT", "soon")
+        with pytest.warns(UserWarning) as caught:
+            executor = Executor.from_env()
+        messages = [str(w.message) for w in caught]
+        assert any("REPRO_RETRIES" in m for m in messages)
+        assert any("REPRO_SPEC_TIMEOUT" in m for m in messages)
+        assert executor.retries == 1
+        assert executor.spec_timeout is None
 
     def test_set_default_round_trips(self):
         mine = Executor(jobs=1)
