@@ -12,6 +12,12 @@ against, and writes them to ``BENCH_engine.json``:
 Usage::
 
     python benchmarks/perf_engine.py [--jobs N] [--events N] [--out PATH]
+    python benchmarks/perf_engine.py --compare OLD_BENCH.json
+
+``--compare`` gates the fresh numbers against a previous payload using the
+validation subsystem's perf verdict (throughput ratio >= 0.8 passes,
+>= 0.5 warns, below fails; host mismatches cap at warn) and exits
+non-zero on a confirmed regression.
 
 Not a pytest module on purpose: perf numbers belong in a JSON artifact,
 not in an assertion.  Run it on a quiet machine; the sweep speedup is only
@@ -127,6 +133,9 @@ def main(argv=None) -> int:
                         help="parallel worker count (default: min(4, cpus))")
     parser.add_argument("--out", default="BENCH_engine.json",
                         help="output JSON path")
+    parser.add_argument("--compare", metavar="BASELINE_JSON", default=None,
+                        help="gate the fresh numbers against a previous "
+                        "payload; exit 1 on a confirmed regression")
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -156,6 +165,18 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"# written to {args.out}")
+
+    if args.compare is not None:
+        from repro.validation.gates import evaluate_perf
+        from repro.validation.stats import FAIL
+
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        verdict = evaluate_perf(payload, baseline)
+        print(f"# perf gate vs {args.compare}: "
+              f"{verdict.status.upper()} ({verdict.detail})")
+        if verdict.status == FAIL:
+            return 1
     return 0
 
 

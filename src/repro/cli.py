@@ -8,6 +8,9 @@ Usage::
     python -m repro run fig6 --jobs 4
     python -m repro run fig11 --seed 7
     python -m repro run fig10 --trace --trace-out t.jsonl --metrics-out m.json
+    python -m repro run fig5 --results-out fig5.json
+    python -m repro validate capture --scale tiny
+    python -m repro validate run --scale tiny --report-out report.json
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
 experiments accept a ``--seed`` for reproducibility.  ``--jobs N`` (or
@@ -20,10 +23,11 @@ it has already run.
 Every run prints a ``# profile:`` line (events dispatched, events/second,
 wall seconds per virtual second, peak heap depth) -- the perf baseline
 optimization work is judged against.  ``--trace`` turns on the
-flight-recorder event trace, ``--trace-out`` exports it as JSONL, and
+flight-recorder event trace, ``--trace-out`` exports it as JSONL,
 ``--metrics-out`` writes the metrics registry snapshot plus a run manifest
-(seed, scale, git SHA, event counts) as JSON.  See DESIGN.md ("Telemetry &
-instrumentation").
+(seed, scale, git SHA, event counts) as JSON, and ``--results-out`` dumps
+the experiment's structured result grid (JSON, or CSV with a ``.csv``
+suffix).  See DESIGN.md ("Telemetry & instrumentation").
 
 Fault tolerance: a cell that crashes, stalls or hangs does not abort the
 figure.  Failed cells are retried (``--retries``/``REPRO_RETRIES``, default
@@ -32,6 +36,13 @@ figure.  Failed cells are retried (``--retries``/``REPRO_RETRIES``, default
 recorded; the figure renders the surviving cells with gaps, a failure
 summary table is printed, and the exit code is non-zero only when *no*
 cell produced a usable result.
+
+``validate capture`` snapshots the reduced-scale validation grid into a
+checked-in golden baseline; ``validate run`` replays the same grid (pure
+cache hits when nothing changed) and gates it with statistical
+cell-by-cell comparisons plus paper-trend invariants.  Exit codes:
+0 pass/warn, 1 confirmed regression, 2 stale/missing baseline or dirty
+tree.  See EXPERIMENTS.md ("Validation & tolerances").
 """
 
 from __future__ import annotations
@@ -65,6 +76,8 @@ from .experiments.report import (
     format_failure_table,
     format_manifest,
     format_trace_summary,
+    to_csv,
+    to_json,
 )
 from .experiments.runner import Scale
 from .sim.units import ms
@@ -72,88 +85,92 @@ from .telemetry import CATEGORIES, RunManifest, Telemetry, activate
 
 __all__ = ["main", "EXPERIMENTS"]
 
-
-def _run_table1(scale: Scale, seed: int) -> str:
-    return table1.render(table1.run_table1(seed=seed))
+RunnerResult = Tuple[str, object]
 
 
-def _run_fig2(scale: Scale, seed: int) -> str:
-    return fig2.render(
-        fig2.run_fig2(
-            seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
-        )
+def _run_table1(scale: Scale, seed: int) -> RunnerResult:
+    result = table1.run_table1(seed=seed)
+    return table1.render(result), result
+
+
+def _run_fig2(scale: Scale, seed: int) -> RunnerResult:
+    result = fig2.run_fig2(
+        seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
     )
+    return fig2.render(result), result
 
 
-def _run_fig3(scale: Scale, seed: int) -> str:
-    return fig3.render(
-        fig3.run_fig3(
-            seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
-        )
+def _run_fig3(scale: Scale, seed: int) -> RunnerResult:
+    result = fig3.run_fig3(
+        seed=seed, n_flows=scale.n_flows_web_search, n_seeds=scale.n_seeds
     )
+    return fig3.render(result), result
 
 
-def _run_fig5(scale: Scale, seed: int) -> str:
-    return fig5.render(fig5.run_fig5())
+def _run_fig5(scale: Scale, seed: int) -> RunnerResult:
+    result = fig5.run_fig5()
+    return fig5.render(result), result
 
 
-def _run_fig6(scale: Scale, seed: int) -> str:
+def _run_fig6(scale: Scale, seed: int) -> RunnerResult:
     result = fig6_fig7.run_fig6(
         loads=scale.loads,
         n_flows=scale.n_flows_web_search,
         seed=seed,
         n_seeds=scale.n_seeds,
     )
-    return fig6_fig7.render(result, "Figure 6")
+    return fig6_fig7.render(result, "Figure 6"), result
 
 
-def _run_fig7(scale: Scale, seed: int) -> str:
+def _run_fig7(scale: Scale, seed: int) -> RunnerResult:
     result = fig6_fig7.run_fig7(
         loads=scale.loads,
         n_flows=scale.n_flows_data_mining,
         seed=seed,
         n_seeds=scale.n_seeds,
     )
-    return fig6_fig7.render(result, "Figure 7")
+    return fig6_fig7.render(result, "Figure 7"), result
 
 
-def _run_fig8(scale: Scale, seed: int) -> str:
-    return fig8.render(
-        fig8.run_fig8(
-            n_flows=scale.n_flows_web_search, seed=seed, n_seeds=scale.n_seeds
-        )
+def _run_fig8(scale: Scale, seed: int) -> RunnerResult:
+    result = fig8.run_fig8(
+        n_flows=scale.n_flows_web_search, seed=seed, n_seeds=scale.n_seeds
     )
+    return fig8.render(result), result
 
 
-def _run_fig9(scale: Scale, seed: int) -> str:
-    return fig9.render(
-        fig9.run_fig9(
-            loads=scale.leafspine_loads,
-            n_flows=scale.n_flows_leafspine,
-            seed=seed,
-            dims=scale.leafspine_dims,
-            n_seeds=scale.n_seeds,
-        )
+def _run_fig9(scale: Scale, seed: int) -> RunnerResult:
+    result = fig9.run_fig9(
+        loads=scale.leafspine_loads,
+        n_flows=scale.n_flows_leafspine,
+        seed=seed,
+        dims=scale.leafspine_dims,
+        n_seeds=scale.n_seeds,
     )
+    return fig9.render(result), result
 
 
-def _run_fig10(scale: Scale, seed: int) -> str:
-    return fig10.render(fig10.run_fig10(seed=seed))
+def _run_fig10(scale: Scale, seed: int) -> RunnerResult:
+    result = fig10.run_fig10(seed=seed)
+    return fig10.render(result), result
 
 
-def _run_fig11(scale: Scale, seed: int) -> str:
-    return fig11.render(fig11.run_fig11(fanouts=scale.fanouts, seed=seed))
+def _run_fig11(scale: Scale, seed: int) -> RunnerResult:
+    result = fig11.run_fig11(fanouts=scale.fanouts, seed=seed)
+    return fig11.render(result), result
 
 
-def _run_fig12(scale: Scale, seed: int) -> str:
-    return fig12.render(fig12.run_fig12(seed=seed))
+def _run_fig12(scale: Scale, seed: int) -> RunnerResult:
+    result = fig12.run_fig12(seed=seed)
+    return fig12.render(result), result
 
 
-def _run_fig13(scale: Scale, seed: int) -> str:
-    return fig13.render(fig13.run_fig13(seed=seed))
+def _run_fig13(scale: Scale, seed: int) -> RunnerResult:
+    result = fig13.run_fig13(seed=seed)
+    return fig13.render(result), result
 
 
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[Scale, int], str]]] = {
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[Scale, int], RunnerResult]]] = {
     "table1": ("Table 1 / Fig 1: RTT variations from processing components", _run_table1),
     "fig2": ("Fig 2: instantaneous-threshold sweep dilemma", _run_fig2),
     "fig3": ("Fig 3: degradation vs RTT-variation magnitude", _run_fig3),
@@ -167,6 +184,100 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[Scale, int], str]]] = {
     "fig12": ("Fig 12: ECN# parameter sensitivity", _run_fig12),
     "fig13": ("Fig 13: ECN# under DWRR scheduling vs TCN", _run_fig13),
 }
+
+SUMMARIZERS: Dict[str, Callable[[object], dict]] = {
+    "table1": table1.summarize_for_validation,
+    "fig2": fig2.summarize_for_validation,
+    "fig3": fig3.summarize_for_validation,
+    "fig5": fig5.summarize_for_validation,
+    "fig6": fig6_fig7.summarize_for_validation,
+    "fig7": fig6_fig7.summarize_for_validation,
+    "fig8": fig8.summarize_for_validation,
+    "fig9": fig9.summarize_for_validation,
+    "fig10": fig10.summarize_for_validation,
+    "fig11": fig11.summarize_for_validation,
+    "fig12": fig12.summarize_for_validation,
+    "fig13": fig13.summarize_for_validation,
+}
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """Shared worker-pool / cache / fault-tolerance options."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the run grid (default: REPRO_JOBS or 1; "
+        "1 executes in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate, ignoring and not writing the result cache",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a failed cell before recording the failure "
+        "(default: REPRO_RETRIES or 1)",
+    )
+    parser.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell still running past it is "
+        "abandoned and recorded as a timeout failure (default: "
+        "REPRO_SPEC_TIMEOUT or off; forces pool execution)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _build_executor(args, parser: argparse.ArgumentParser) -> Executor:
+    """Resolve the executor options (CLI flag beats environment)."""
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    jobs = args.jobs
+    if jobs is None:
+        raw_jobs = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = max(1, int(raw_jobs)) if raw_jobs else 1
+        except ValueError:
+            parser.error(f"REPRO_JOBS={raw_jobs!r} is not an integer")
+    retries = args.retries
+    if retries is None:
+        raw_retries = os.environ.get("REPRO_RETRIES", "").strip()
+        try:
+            retries = max(0, int(raw_retries)) if raw_retries else 1
+        except ValueError:
+            parser.error(f"REPRO_RETRIES={raw_retries!r} is not an integer")
+    if retries < 0:
+        parser.error("--retries must be >= 0")
+    spec_timeout = args.spec_timeout
+    if spec_timeout is None:
+        raw_timeout = os.environ.get("REPRO_SPEC_TIMEOUT", "").strip()
+        try:
+            spec_timeout = float(raw_timeout) if raw_timeout else None
+        except ValueError:
+            parser.error(f"REPRO_SPEC_TIMEOUT={raw_timeout!r} is not a number")
+    if spec_timeout is not None and spec_timeout <= 0:
+        spec_timeout = None  # 0 / negative = explicitly off
+    cache_dir = args.cache_dir or default_cache_dir()
+    return Executor(
+        jobs=jobs,
+        cache=not args.no_cache,
+        cache_dir=cache_dir,
+        retries=retries,
+        spec_timeout=spec_timeout,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,42 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale parameters (slow; equivalent to REPRO_FULL=1)",
     )
     run.add_argument("--seed", type=int, default=None, help="override the seed")
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for the run grid (default: REPRO_JOBS or 1; "
-        "1 executes in-process)",
-    )
-    run.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="always simulate, ignoring and not writing the result cache",
-    )
-    run.add_argument(
-        "--retries",
-        type=int,
-        default=None,
-        metavar="N",
-        help="extra attempts for a failed cell before recording the failure "
-        "(default: REPRO_RETRIES or 1)",
-    )
-    run.add_argument(
-        "--spec-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-cell wall-clock budget; a cell still running past it is "
-        "abandoned and recorded as a timeout failure (default: "
-        "REPRO_SPEC_TIMEOUT or off; forces pool execution)",
-    )
-    run.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        default=None,
-        help="result cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
+    _add_executor_args(run)
     run.add_argument(
         "--trace",
         action="store_true",
@@ -256,6 +332,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write metrics snapshot + run manifest as JSON",
     )
+    run.add_argument(
+        "--results-out",
+        metavar="PATH",
+        default=None,
+        help="write the structured result grid (JSON; CSV when the path "
+        "ends in .csv)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="fidelity gates: capture golden baselines / run the validation "
+        "grid against them",
+    )
+    validate_sub = validate.add_subparsers(dest="validate_command", required=True)
+
+    capture = validate_sub.add_parser(
+        "capture", help="run the validation grid and write its golden baseline"
+    )
+    run_gate = validate_sub.add_parser(
+        "run", help="run the validation grid and gate it against the baseline"
+    )
+    for verb in (capture, run_gate):
+        verb.add_argument(
+            "--scale",
+            default="tiny",
+            choices=["tiny", "reduced"],
+            help="validation grid size (default: tiny)",
+        )
+        verb.add_argument(
+            "--baseline-dir",
+            metavar="DIR",
+            default="baselines",
+            help="directory holding <scale>.json baselines (default: baselines)",
+        )
+        verb.add_argument(
+            "--bench",
+            metavar="PATH",
+            default=None,
+            help="BENCH_engine.json payload (embedded at capture; compared "
+            "at run)",
+        )
+        _add_executor_args(verb)
+    capture.add_argument(
+        "--force",
+        action="store_true",
+        help="allow capturing from a dirty working tree (manifest records it)",
+    )
+    run_gate.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="explicit baseline file (default: <baseline-dir>/<scale>.json)",
+    )
+    run_gate.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the full validation report as JSON",
+    )
     return parser
 
 
@@ -265,55 +400,27 @@ _DEFAULT_SEEDS = {
 }
 
 
-def main(argv: Optional[list] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
-        return 0
+def _write_results(path: str, summary: dict) -> None:
+    """Dump a ``summarize_for_validation`` grid as JSON or (flattened) CSV."""
+    if path.endswith(".csv"):
+        rows = []
+        for cell, metrics in summary.get("cells", {}).items():
+            for metric, value in metrics.items():
+                rows.append([summary.get("figure", ""), cell, metric, value])
+        for name, value in summary.get("derived", {}).items():
+            rows.append([summary.get("figure", ""), "derived", name, value])
+        to_csv(["figure", "cell", "metric", "value"], rows, path)
+    else:
+        to_json(summary, path)
+    print(f"# results written to {path}")
 
+
+def _main_run(args, parser: argparse.ArgumentParser) -> int:
     description, runner = EXPERIMENTS[args.experiment]
     scale = Scale.paper() if args.full else Scale.from_env()
     seed = args.seed if args.seed is not None else _DEFAULT_SEEDS[args.experiment]
 
-    if args.jobs is not None and args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    jobs = args.jobs
-    if jobs is None:
-        raw_jobs = os.environ.get("REPRO_JOBS", "").strip()
-        try:
-            jobs = max(1, int(raw_jobs)) if raw_jobs else 1
-        except ValueError:
-            parser.error(f"REPRO_JOBS={raw_jobs!r} is not an integer")
-    retries = args.retries
-    if retries is None:
-        raw_retries = os.environ.get("REPRO_RETRIES", "").strip()
-        try:
-            retries = max(0, int(raw_retries)) if raw_retries else 1
-        except ValueError:
-            parser.error(f"REPRO_RETRIES={raw_retries!r} is not an integer")
-    if retries < 0:
-        parser.error("--retries must be >= 0")
-    spec_timeout = args.spec_timeout
-    if spec_timeout is None:
-        raw_timeout = os.environ.get("REPRO_SPEC_TIMEOUT", "").strip()
-        try:
-            spec_timeout = float(raw_timeout) if raw_timeout else None
-        except ValueError:
-            parser.error(f"REPRO_SPEC_TIMEOUT={raw_timeout!r} is not a number")
-    if spec_timeout is not None and spec_timeout <= 0:
-        spec_timeout = None  # 0 / negative = explicitly off
-    cache_dir = args.cache_dir or default_cache_dir()
-    executor = Executor(
-        jobs=jobs,
-        cache=not args.no_cache,
-        cache_dir=cache_dir,
-        retries=retries,
-        spec_timeout=spec_timeout,
-    )
+    executor = _build_executor(args, parser)
 
     trace_enabled = (
         args.trace or args.trace_out is not None or args.trace_categories is not None
@@ -334,7 +441,8 @@ def main(argv: Optional[list] = None) -> int:
         parser.error("--trace-capacity must be positive")
     # Fail on an unwritable output path now, not after a long run.
     for option, path in (("--trace-out", args.trace_out),
-                         ("--metrics-out", args.metrics_out)):
+                         ("--metrics-out", args.metrics_out),
+                         ("--results-out", args.results_out)):
         if path is not None:
             directory = os.path.dirname(path) or "."
             if not os.path.isdir(directory):
@@ -356,7 +464,8 @@ def main(argv: Optional[list] = None) -> int:
     previous_executor = set_default_executor(executor)
     try:
         with activate(telemetry):
-            print(runner(scale, seed))
+            text, result = runner(scale, seed)
+            print(text)
     finally:
         set_default_executor(previous_executor)
     wall = time.time() - started
@@ -388,6 +497,8 @@ def main(argv: Optional[list] = None) -> int:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"# metrics written to {args.metrics_out}")
+    if args.results_out is not None:
+        _write_results(args.results_out, SUMMARIZERS[args.experiment](result))
     stats = executor.stats
     if stats.submitted and stats.failed >= stats.submitted:
         # Partial grids render with gaps and exit 0; only a figure with
@@ -395,6 +506,87 @@ def main(argv: Optional[list] = None) -> int:
         print("# error: every cell failed; no usable results", file=sys.stderr)
         return 1
     return 0
+
+
+def _main_validate(args, parser: argparse.ArgumentParser) -> int:
+    from .validation import (
+        DirtyTreeError,
+        StaleBaselineError,
+        capture_baselines,
+        run_gate,
+    )
+    from .validation.stats import FAIL
+
+    executor = _build_executor(args, parser)
+    telemetry = Telemetry()
+    previous_executor = set_default_executor(executor)
+    try:
+        with activate(telemetry):
+            if args.validate_command == "capture":
+                try:
+                    baseline, path, outcome = capture_baselines(
+                        args.scale,
+                        executor,
+                        baseline_dir=args.baseline_dir,
+                        force=args.force,
+                        bench_path=args.bench,
+                    )
+                except DirtyTreeError as exc:
+                    print(f"# error: {exc}", file=sys.stderr)
+                    return 2
+                except RuntimeError as exc:
+                    print(f"# error: {exc}", file=sys.stderr)
+                    return 1
+                cells = sum(
+                    len(fig["cells"]) for fig in baseline.figures.values()
+                )
+                print(
+                    f"# baseline captured: {path} ({cells} cells, "
+                    f"sha={baseline.manifest.git_sha}, "
+                    f"dirty={baseline.manifest.git_dirty})"
+                )
+                print(
+                    f"# executor: jobs={executor.jobs} "
+                    f"{executor.stats.merge_line()}"
+                )
+                return 0
+
+            try:
+                report = run_gate(
+                    args.scale,
+                    executor,
+                    baseline_path=args.baseline,
+                    baseline_dir=args.baseline_dir,
+                    bench_path=args.bench,
+                )
+            except (StaleBaselineError, FileNotFoundError) as exc:
+                print(f"# error: {exc}", file=sys.stderr)
+                return 2
+            print(report.render_text())
+            print(
+                f"# executor: jobs={executor.jobs} "
+                f"{executor.stats.merge_line()}"
+            )
+            if args.report_out is not None:
+                report.to_json(args.report_out)
+                print(f"# report written to {args.report_out}")
+            return 1 if report.status == FAIL else 0
+    finally:
+        set_default_executor(previous_executor)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "validate":
+        return _main_validate(args, parser)
+    return _main_run(args, parser)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,57 @@
+"""Shared sample-statistics helpers.
+
+One interpolation-consistent percentile definition for every consumer:
+the FCT breakdown (:mod:`repro.experiments.fct`), the queue monitor
+(:mod:`repro.sim.monitor`) and the validation statistics
+(:mod:`repro.validation.stats`) all historically computed percentiles
+slightly differently (numpy linear interpolation vs nearest-rank), which
+made cross-layer comparisons subtly inconsistent.  This module is the
+single definition: linear interpolation on the sorted sample, identical
+to ``numpy.percentile(..., method="linear")``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["percentile", "percentile_or_none", "mean_or_none"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """p-th percentile by linear interpolation on the sorted sample.
+
+    ``rank = (n - 1) * p / 100`` with linear interpolation between the two
+    bracketing order statistics -- numpy's default ("linear") method.  A
+    single-element sample returns that element for every ``p``; an empty
+    sample raises (callers that want a sentinel use
+    :func:`percentile_or_none`).
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    n = len(values)
+    if n == 0:
+        raise ValueError("percentile of an empty sample is undefined")
+    ordered = sorted(float(v) for v in values)
+    if n == 1:
+        return ordered[0]
+    rank = (n - 1) * (p / 100.0)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, n - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def percentile_or_none(values: Sequence[float], p: float) -> Optional[float]:
+    """:func:`percentile`, or ``None`` for an empty sample."""
+    if len(values) == 0:
+        return None
+    return percentile(values, p)
+
+
+def mean_or_none(values: Sequence[float]) -> Optional[float]:
+    """Arithmetic mean, or ``None`` for an empty sample."""
+    n = len(values)
+    if n == 0:
+        return None
+    return float(sum(float(v) for v in values) / n)

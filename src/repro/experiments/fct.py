@@ -9,10 +9,9 @@ flows (> 10 MB).  :class:`FctCollector` accumulates completed flows and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from ..core.stats_util import mean_or_none, percentile_or_none
 from ..tcp.factory import FlowHandle
 
 __all__ = ["FlowRecord", "FctCollector", "FctSummary", "SHORT_FLOW_MAX", "LARGE_FLOW_MIN"]
@@ -70,11 +69,11 @@ class FctCollector:
 
 
 def _avg(values: Sequence[float]) -> Optional[float]:
-    return float(np.mean(values)) if len(values) else None
+    return mean_or_none(values)
 
 
 def _p99(values: Sequence[float]) -> Optional[float]:
-    return float(np.percentile(values, 99)) if len(values) else None
+    return percentile_or_none(values, 99)
 
 
 @dataclass(frozen=True)
@@ -111,6 +110,17 @@ class FctSummary:
             n_short=len(short_fct),
             n_large=len(large_fct),
         )
+
+    def metrics(self) -> Dict[str, float]:
+        """The validation-gated FCT statistics as a flat name -> value map
+        (fields with no qualifying flows are omitted, not ``None``)."""
+        candidates = {
+            "overall_avg": self.overall_avg,
+            "short_avg": self.short_avg,
+            "short_p99": self.short_p99,
+            "large_avg": self.large_avg,
+        }
+        return {k: float(v) for k, v in candidates.items() if v is not None}
 
     def normalized_to(self, baseline: "FctSummary") -> "NormalizedFct":
         """Ratios against a baseline scheme (how the paper's figures plot)."""

@@ -30,7 +30,14 @@ from ..fct import FctCollector
 from ..report import format_table
 from ..runner import estimate_star_network_rtt
 
-__all__ = ["Fig10Result", "MicroscopicRun", "run_microscopic", "run_fig10", "render"]
+__all__ = [
+    "Fig10Result",
+    "MicroscopicRun",
+    "run_microscopic",
+    "run_fig10",
+    "render",
+    "summarize_for_validation",
+]
 
 DEFAULT_SCHEMES: Tuple[str, ...] = ("DCTCP-RED-Tail", "CoDel", "ECN#")
 
@@ -57,6 +64,22 @@ class MicroscopicRun:
     query_fcts: List[float] = field(default_factory=list)
     query_timeouts: int = 0
     queries_completed: int = 0
+
+    def metrics(self) -> Dict[str, float]:
+        """The validation-gated microscopic statistics as a flat
+        name -> value map (query-FCT entries omitted when no query
+        completed)."""
+        values: Dict[str, float] = {
+            "standing_queue_pkts": float(self.standing_queue_pkts),
+            "floor_queue_pkts": float(self.floor_queue_pkts),
+            "peak_queue_pkts": float(self.peak_queue_pkts),
+            "drops": float(self.drops),
+            "query_timeouts": float(self.query_timeouts),
+        }
+        if self.query_fcts:
+            values["avg_query_fct"] = float(np.mean(self.query_fcts))
+            values["p99_query_fct"] = float(np.percentile(self.query_fcts, 99))
+        return values
 
 
 @dataclass
@@ -194,6 +217,32 @@ def run_fig10(
     executor = executor or get_default_executor()
     runs: Dict[str, MicroscopicRun] = dict(zip(schemes, executor.run(specs)))
     return Fig10Result(runs=runs, fanout=fanout, burst_time=ms(20))
+
+
+def summarize_for_validation(result: Fig10Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {
+        f"scheme={name}": run.metrics()
+        for name, run in result.runs.items()
+        if run is not None and not is_failure(run)
+    }
+    derived: Dict[str, float] = {}
+    red = result.runs.get("DCTCP-RED-Tail")
+    sharp = result.runs.get("ECN#")
+    if (
+        red is not None and not is_failure(red)
+        and sharp is not None and not is_failure(sharp)
+        and red.standing_queue_pkts > 0
+    ):
+        derived["ecn_sharp_standing_ratio"] = (
+            sharp.standing_queue_pkts / red.standing_queue_pkts
+        )
+    return {
+        "figure": "fig10",
+        "params": {"fanout": result.fanout},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig10Result) -> str:

@@ -21,7 +21,13 @@ from ..schemes import simulation_scheme_specs
 from ..specs import RunSpec
 from .fig10 import MicroscopicRun
 
-__all__ = ["Fig11Result", "run_fig11", "render", "DEFAULT_FANOUTS"]
+__all__ = [
+    "Fig11Result",
+    "run_fig11",
+    "render",
+    "summarize_for_validation",
+    "DEFAULT_FANOUTS",
+]
 
 DEFAULT_FANOUTS: Tuple[int, ...] = (25, 50, 100, 150, 175, 200)
 DEFAULT_SCHEMES: Tuple[str, ...] = ("DCTCP-RED-Tail", "CoDel", "ECN#")
@@ -77,6 +83,28 @@ def run_fig11(
     for (fanout, name), run in zip(keys, executor.run(specs)):
         runs[fanout][name] = run
     return Fig11Result(fanouts=fanouts, schemes=schemes, runs=runs)
+
+
+def summarize_for_validation(result: Fig11Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    for fanout in result.fanouts:
+        for scheme in result.schemes:
+            run = result.runs[fanout][scheme]
+            if is_failure(run):
+                continue
+            cells[f"fanout={fanout}|scheme={scheme}"] = run.metrics()
+    derived = {}
+    for scheme in result.schemes:
+        onset = result.first_loss_fanout(scheme)
+        if onset is not None:
+            derived[f"first_loss_fanout|scheme={scheme}"] = float(onset)
+    return {
+        "figure": "fig11",
+        "params": {"fanouts": list(result.fanouts)},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig11Result) -> str:

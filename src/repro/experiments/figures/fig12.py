@@ -19,7 +19,7 @@ from ..executor import Executor, run_grid, seed_specs
 from ..report import fmt_ratio, format_table
 from ..specs import AqmSpec, RunSpec
 
-__all__ = ["Fig12Result", "run_fig12", "render"]
+__all__ = ["Fig12Result", "run_fig12", "render", "summarize_for_validation"]
 
 DEFAULT_INTERVALS_US: Tuple[float, ...] = (100.0, 150.0, 200.0, 250.0)
 DEFAULT_TARGETS_US: Tuple[float, ...] = (6.0, 10.0, 14.0, 18.0)
@@ -146,6 +146,37 @@ def run_fig12(
         interval_fct=interval_fct,
         target_fct=target_fct,
     )
+
+
+def summarize_for_validation(result: Fig12Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    for workload, by_value in result.interval_fct.items():
+        for value, fct in by_value.items():
+            if fct is not None:
+                cells[f"{workload}|pst_interval={value:g}us"] = {
+                    "overall_avg": float(fct)
+                }
+    for workload, by_value in result.target_fct.items():
+        for value, fct in by_value.items():
+            if fct is not None:
+                cells[f"{workload}|pst_target={value:g}us"] = {
+                    "overall_avg": float(fct)
+                }
+    derived = {}
+    for workload in result.interval_fct:
+        interval_spread = result.interval_spread(workload)
+        if interval_spread is not None:
+            derived[f"interval_spread|{workload}"] = interval_spread
+        target_spread = result.target_spread(workload)
+        if target_spread is not None:
+            derived[f"target_spread|{workload}"] = target_spread
+    return {
+        "figure": "fig12",
+        "params": {},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig12Result) -> str:

@@ -31,7 +31,14 @@ from ..faults import is_failure
 from ..fct import FctCollector
 from ..report import fmt_opt, format_table
 
-__all__ = ["SchedulerRun", "Fig13Result", "run_scheduler_experiment", "run_fig13", "render"]
+__all__ = [
+    "SchedulerRun",
+    "Fig13Result",
+    "run_scheduler_experiment",
+    "run_fig13",
+    "render",
+    "summarize_for_validation",
+]
 
 WEIGHTS: Tuple[float, ...] = (2.0, 1.0, 1.0)
 
@@ -196,6 +203,28 @@ def run_fig13(seed: int = 81, phase: float = ms(60), executor=None) -> Fig13Resu
     executor = executor or get_default_executor()
     runs: Dict[str, SchedulerRun] = dict(zip(names, executor.run(specs)))
     return Fig13Result(runs=runs)
+
+
+def summarize_for_validation(result: Fig13Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    for name, run in result.runs.items():
+        if is_failure(run):
+            continue
+        metrics = {}
+        avg_probe = run.avg_probe_fct()
+        if avg_probe is not None:
+            metrics["avg_probe_fct"] = avg_probe
+        shares = run.phase3_share_ratios()
+        if shares is not None:
+            metrics["phase3_share_f1_f2"] = shares[0]
+            metrics["phase3_share_f1_f3"] = shares[1]
+        cells[f"scheme={name}"] = metrics
+    derived = {}
+    ratio = result.probe_fct_ratio()
+    if ratio is not None:
+        derived["probe_fct_ratio"] = ratio
+    return {"figure": "fig13", "params": {}, "cells": cells, "derived": derived}
 
 
 def render(result: Fig13Result) -> str:

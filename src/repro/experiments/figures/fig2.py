@@ -20,7 +20,13 @@ from ..report import fmt_ratio, fmt_us, format_table
 from ..schemes import bytes_to_sojourn
 from ..specs import AqmSpec, RunSpec
 
-__all__ = ["Fig2Result", "run_fig2", "render", "DEFAULT_THRESHOLDS_KB"]
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+    "render",
+    "summarize_for_validation",
+    "DEFAULT_THRESHOLDS_KB",
+]
 
 DEFAULT_THRESHOLDS_KB: Tuple[int, ...] = (50, 100, 150, 200, 250)
 
@@ -91,6 +97,20 @@ def run_fig2(
         load=load,
         variation=variation,
     )
+
+
+def summarize_for_validation(result: Fig2Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {
+        f"threshold={threshold}KB": summary.metrics()
+        for threshold, summary in result.summaries.items()
+    }
+    return {
+        "figure": "fig2",
+        "params": {"load": result.load, "variation": result.variation},
+        "cells": cells,
+        "derived": {},
+    }
 
 
 def render(result: Fig2Result) -> str:

@@ -23,7 +23,13 @@ from ..fct import FctSummary
 from ..report import fmt_ratio, format_table
 from ..specs import AqmSpec, RunSpec
 
-__all__ = ["Fig3Result", "run_fig3", "render", "DEFAULT_VARIATIONS"]
+__all__ = [
+    "Fig3Result",
+    "run_fig3",
+    "render",
+    "summarize_for_validation",
+    "DEFAULT_VARIATIONS",
+]
 
 DEFAULT_VARIATIONS: Tuple[float, ...] = (2.0, 3.0, 4.0, 5.0)
 
@@ -113,6 +119,31 @@ def run_fig3(
         thresholds_us=thresholds,
         load=load,
     )
+
+
+def summarize_for_validation(result: Fig3Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    derived = {}
+    for variation in result.variations:
+        cells[f"variation={variation:g}|threshold=avg"] = result.avg_threshold[
+            variation
+        ].metrics()
+        cells[f"variation={variation:g}|threshold=tail"] = result.tail_threshold[
+            variation
+        ].metrics()
+        large_gap = result.large_flow_gap(variation)
+        if large_gap is not None:
+            derived[f"large_flow_gap|variation={variation:g}"] = large_gap
+        short_gap = result.short_tail_gap(variation)
+        if short_gap is not None:
+            derived[f"short_tail_gap|variation={variation:g}"] = short_gap
+    return {
+        "figure": "fig3",
+        "params": {"load": result.load},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig3Result) -> str:

@@ -10,7 +10,7 @@ from ...workloads.distributions import EmpiricalCdf
 from ...workloads.websearch import WEB_SEARCH
 from ..report import format_table
 
-__all__ = ["Fig5Result", "run_fig5", "render"]
+__all__ = ["Fig5Result", "run_fig5", "render", "summarize_for_validation"]
 
 PROBE_SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000)
 
@@ -37,6 +37,17 @@ def run_fig5() -> Fig5Result:
         for name, wl in workloads.items()
     }
     return Fig5Result(curves=curves, means=means, cdf_at_probe=probes)
+
+
+def summarize_for_validation(result: Fig5Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    for name in result.means:
+        metrics = {"mean_bytes": float(result.means[name])}
+        for size, probability in result.cdf_at_probe[name].items():
+            metrics[f"cdf_at_{size}"] = float(probability)
+        cells[f"workload={name}"] = metrics
+    return {"figure": "fig5", "params": {}, "cells": cells, "derived": {}}
 
 
 def render(result: Fig5Result) -> str:

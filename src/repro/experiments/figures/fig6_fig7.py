@@ -25,7 +25,14 @@ from ..report import fmt_ratio, format_table
 from ..schemes import SCHEME_ORDER, testbed_scheme_specs
 from ..specs import AqmSpec, RunSpec
 
-__all__ = ["FctVsLoadResult", "run_fct_vs_load", "run_fig6", "run_fig7", "render"]
+__all__ = [
+    "FctVsLoadResult",
+    "run_fct_vs_load",
+    "run_fig6",
+    "run_fig7",
+    "render",
+    "summarize_for_validation",
+]
 
 BASELINE = "DCTCP-RED-Tail"
 
@@ -124,6 +131,25 @@ def run_fig7(
     return run_fct_vs_load(
         DATA_MINING, loads, n_flows, seed, n_seeds=n_seeds, executor=executor
     )
+
+
+def summarize_for_validation(result: FctVsLoadResult) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {
+        f"load={load:g}|scheme={scheme}": result.summaries[load][scheme].metrics()
+        for load in result.loads
+        for scheme in result.schemes
+    }
+    derived = {}
+    gain = result.best_short_avg_gain()
+    if gain is not None:
+        derived["best_short_avg_gain"] = gain
+    return {
+        "figure": "fig6" if result.workload_name == "web-search" else "fig7",
+        "params": {"workload": result.workload_name},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: FctVsLoadResult, figure_name: str = "Figure 6/7") -> str:

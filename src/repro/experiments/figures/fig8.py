@@ -18,7 +18,13 @@ from ..report import fmt_ratio, format_table
 from ..schemes import testbed_scheme_specs
 from ..specs import RunSpec
 
-__all__ = ["Fig8Result", "run_fig8", "render", "DEFAULT_VARIATIONS"]
+__all__ = [
+    "Fig8Result",
+    "run_fig8",
+    "render",
+    "summarize_for_validation",
+    "DEFAULT_VARIATIONS",
+]
 
 DEFAULT_VARIATIONS: Tuple[float, ...] = (3.0, 4.0, 5.0)
 
@@ -84,6 +90,28 @@ def run_fig8(
     for (variation, load, name), result in zip(keys, run_grid(cells, executor)):
         summaries[variation][load][name] = result.summary
     return Fig8Result(variations=variations, loads=loads, summaries=summaries)
+
+
+def summarize_for_validation(result: Fig8Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    derived = {}
+    for variation in result.variations:
+        for load in result.loads:
+            for scheme, summary in result.summaries[variation][load].items():
+                key = f"variation={variation:g}|load={load:g}|scheme={scheme}"
+                cells[key] = summary.metrics()
+            nfct = result.nfct(variation, load, "short_p99")
+            if nfct is not None:
+                derived[
+                    f"short_p99_gain|variation={variation:g}|load={load:g}"
+                ] = 1.0 - nfct
+    return {
+        "figure": "fig8",
+        "params": {},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig8Result) -> str:

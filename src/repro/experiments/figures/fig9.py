@@ -23,7 +23,7 @@ from ..report import fmt_ratio, format_table
 from ..schemes import simulation_scheme_specs
 from ..specs import RunSpec
 
-__all__ = ["Fig9Result", "run_fig9", "render"]
+__all__ = ["Fig9Result", "run_fig9", "render", "summarize_for_validation"]
 
 BASELINE = "DCTCP-RED-Tail"
 
@@ -80,6 +80,29 @@ def run_fig9(
     return Fig9Result(
         loads=loads, schemes=scheme_names, dims=dims, summaries=summaries
     )
+
+
+def summarize_for_validation(result: Fig9Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {
+        f"load={load:g}|scheme={scheme}": result.summaries[load][scheme].metrics()
+        for load in result.loads
+        for scheme in result.schemes
+    }
+    derived = {}
+    for load in result.loads:
+        for scheme in result.schemes:
+            if scheme == BASELINE:
+                continue
+            nfct = result.nfct(load, scheme, "overall_avg")
+            if nfct is not None:
+                derived[f"nfct_overall|load={load:g}|scheme={scheme}"] = nfct
+    return {
+        "figure": "fig9",
+        "params": {"dims": list(result.dims)},
+        "cells": cells,
+        "derived": derived,
+    }
 
 
 def render(result: Fig9Result) -> str:

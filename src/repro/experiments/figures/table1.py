@@ -18,7 +18,7 @@ from ...measurement.stats import RttSummary, summarize_rtts
 from ...netem.components import TABLE1_CASES, sample_case_rtts
 from ..report import format_table
 
-__all__ = ["Table1Result", "run_table1", "render"]
+__all__ = ["Table1Result", "run_table1", "render", "summarize_for_validation"]
 
 PAPER_ROWS: Dict[str, Dict[str, float]] = {
     "Networking Stack": {"mean": 39.3, "std": 12.2, "p90": 59.0, "p99": 79.0},
@@ -66,6 +66,25 @@ def run_table1(seed: int = 1, n_samples: int = 3000) -> Table1Result:
         samples = sample_case_rtts(components, rng, n_samples=n_samples)
         cases[name] = summarize_rtts(samples)
     return Table1Result(cases=cases)
+
+
+def summarize_for_validation(result: Table1Result) -> dict:
+    """Machine-readable grid summary (validation + ``--results-out``)."""
+    cells = {}
+    for name, summary in result.cases.items():
+        micro = summary.as_microseconds()
+        cells[f"case={name}"] = {
+            "mean_us": micro.mean,
+            "std_us": micro.std,
+            "p90_us": micro.p90,
+            "p99_us": micro.p99,
+        }
+    return {
+        "figure": "table1",
+        "params": {},
+        "cells": cells,
+        "derived": {"variation_ratio": result.variation_ratio},
+    }
 
 
 def render(result: Table1Result) -> str:

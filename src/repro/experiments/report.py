@@ -7,6 +7,9 @@ normalized ratios with the baseline pinned at 1.00).
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, List, Optional, Sequence
 
 __all__ = [
@@ -17,6 +20,8 @@ __all__ = [
     "format_manifest",
     "format_failure_table",
     "format_trace_summary",
+    "to_json",
+    "to_csv",
 ]
 
 
@@ -65,6 +70,38 @@ def format_table(
     lines.append("  ".join("-" * width for width in widths))
     lines.extend(render_row(row) for row in materialized)
     return "\n".join(lines)
+
+
+def to_json(payload: object, path: Optional[str] = None) -> str:
+    """Serialize ``payload`` as stable, human-diffable JSON (sorted keys,
+    2-space indent, trailing newline).  Writes to ``path`` when given;
+    always returns the serialized text."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    path: Optional[str] = None,
+) -> str:
+    """Serialize a header + rows table as CSV.  Writes to ``path`` when
+    given; always returns the serialized text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text
 
 
 def format_manifest(manifest) -> str:

@@ -19,7 +19,9 @@ implementation choice); byte thresholds convert through Equation 2 at the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+import os
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core import Codel, EcnSharp, EcnSharpConfig, SojournRed, Tcn
 from ..core.base import Aqm
@@ -29,6 +31,7 @@ from .specs import AqmSpec
 __all__ = [
     "AqmFactory",
     "AQM_BUILDERS",
+    "PERTURB_ENV",
     "build_aqm",
     "bytes_to_sojourn",
     "testbed_schemes",
@@ -65,6 +68,36 @@ of unpicklable closure factories.
 """
 
 
+PERTURB_ENV = "REPRO_AQM_PERTURB"
+"""Deliberate-regression canary: ``kind:param:factor`` multiplies one AQM
+parameter at construction time.  Spawn workers inherit the environment, so
+the perturbation reaches every cell; the spec hash (and thus the result
+cache key) is *unchanged*, which is exactly the point -- the validation
+gate, not the cache, must catch the behavioral shift.  Run with
+``--no-cache`` so perturbed results are actually simulated."""
+
+_perturb_warned = False
+
+
+def _parse_perturbation() -> Optional[Tuple[str, str, float]]:
+    raw = os.environ.get(PERTURB_ENV, "").strip()
+    if not raw:
+        return None
+    parts = raw.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"{PERTURB_ENV} must be 'kind:param:factor', got {raw!r}"
+        )
+    kind, param, factor_text = parts
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise ValueError(
+            f"{PERTURB_ENV} factor must be a float, got {factor_text!r}"
+        ) from None
+    return kind, param, factor
+
+
 def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
     """Construct a registered AQM from its registry name and parameters."""
     try:
@@ -73,6 +106,20 @@ def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
         raise ValueError(
             f"unknown AQM kind {kind!r} (available: {sorted(AQM_BUILDERS)})"
         ) from None
+    perturbation = _parse_perturbation()
+    if perturbation is not None and perturbation[0] == kind:
+        _, param, factor = perturbation
+        if param in params:
+            params = dict(params)
+            params[param] = params[param] * factor
+            global _perturb_warned
+            if not _perturb_warned:
+                _perturb_warned = True
+                print(
+                    f"# WARNING: {PERTURB_ENV} active: "
+                    f"{kind}.{param} x{factor:g} (canary perturbation)",
+                    file=sys.stderr,
+                )
     return builder(**params)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..core.stats_util import percentile as _percentile
 from .engine import Simulator
 from .packet import Packet
 from .port import Port
@@ -91,16 +92,15 @@ class QueueMonitor:
 
     def percentile(self, p: float, bytes_: bool = False) -> float:
         """p-th percentile of sampled depth (packets, or bytes when
-        ``bytes_`` is set), by nearest-rank on the sorted samples."""
+        ``bytes_`` is set), by linear interpolation on the sorted samples
+        (the shared :func:`repro.core.stats_util.percentile` definition,
+        consistent with the FCT breakdown's p99)."""
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         if not self.samples:
             return 0.0
-        values = sorted(
-            (s.bytes if bytes_ else s.packets) for s in self.samples
-        )
-        rank = max(1, -(-int(p * len(values)) // 100))  # ceil, at least 1
-        return float(values[rank - 1])
+        values = [(s.bytes if bytes_ else s.packets) for s in self.samples]
+        return _percentile(values, p)
 
     def percentiles(
         self, ps: Tuple[float, ...] = (50.0, 95.0, 99.0), bytes_: bool = False

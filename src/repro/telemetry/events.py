@@ -29,6 +29,7 @@ CATEGORIES: tuple = (
     "rate",    # DCQCN rate-control update
     "flow",    # flow start / completion
     "failure", # experiment-level run failure (crash, stall, timeout, ...)
+    "validation",  # fidelity-gate verdict (baseline cell or paper invariant)
 )
 """Every category the built-in instrumentation emits."""
 

@@ -125,6 +125,29 @@ class Telemetry:
                 message=failure.message, attempts=failure.attempts,
             )
 
+    # ------------------------------------------------------ validation hooks
+
+    def on_validation_verdict(
+        self,
+        kind: str,
+        name: str,
+        status: str,
+        figure: str = "",
+        detail: str = "",
+    ) -> None:
+        """Record one fidelity-gate verdict (``kind`` is ``"baseline"`` for a
+        cell-vs-golden comparison or ``"invariant"`` for a paper-trend
+        assertion; ``status`` is pass/warn/fail/skip)."""
+        self.registry.counter(
+            "validation_verdicts_total", kind=kind, status=status
+        ).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("validation"):
+            recorder.emit(
+                0.0, "validation", status,
+                check=kind, name=name, figure=figure, detail=detail,
+            )
+
     # ------------------------------------------------------ data-plane hooks
 
     def on_enqueue(self, port, packet, now: float) -> None:

@@ -1,0 +1,106 @@
+"""Fidelity validation subsystem: golden baselines, statistical gates,
+and paper-trend invariants.
+
+Layers (dependency order):
+
+* :mod:`.stats` -- bootstrap CIs, Welch t / Mann-Whitney tests, tolerance
+  bands, and the :func:`~.stats.compare_samples` verdict ladder;
+* :mod:`.baselines` -- schema-versioned golden-result JSON with git/spec
+  provenance and staleness detection;
+* :mod:`.invariants` -- declarative registry of the paper's directional
+  claims (Figures 6-12), evaluated against assembled figure results;
+* :mod:`.grids` -- the single owner of validation run-spec construction,
+  shared by capture and gate runs so warm gates replay from cache;
+* :mod:`.gates` -- ``repro validate capture`` / ``repro validate run``.
+"""
+
+from .baselines import (
+    BASELINE_SCHEMA_VERSION,
+    Baseline,
+    BaselineManifest,
+    DirtyTreeError,
+    StaleBaselineError,
+    ensure_clean_tree,
+    git_dirty,
+)
+from .gates import (
+    PerfVerdict,
+    ValidationReport,
+    band_for,
+    capture_baselines,
+    default_baseline_path,
+    evaluate_perf,
+    run_gate,
+)
+from .grids import (
+    SCALES,
+    GridCell,
+    GridOutcome,
+    ValidationScale,
+    build_cells,
+    resolve_scale,
+    run_validation_grid,
+)
+from .invariants import REGISTRY, Invariant, InvariantVerdict, evaluate_figure
+from .stats import (
+    COUNT_BAND,
+    DEFAULT_BAND,
+    FAIL,
+    PASS,
+    QUEUE_BAND,
+    SKIP,
+    WARN,
+    BootstrapCi,
+    CellComparison,
+    TestResult,
+    ToleranceBand,
+    bootstrap_ci,
+    compare_samples,
+    mann_whitney_u,
+    student_t_two_sided_p,
+    welch_t_test,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Baseline",
+    "BaselineManifest",
+    "DirtyTreeError",
+    "StaleBaselineError",
+    "ensure_clean_tree",
+    "git_dirty",
+    "PerfVerdict",
+    "ValidationReport",
+    "band_for",
+    "capture_baselines",
+    "default_baseline_path",
+    "evaluate_perf",
+    "run_gate",
+    "SCALES",
+    "GridCell",
+    "GridOutcome",
+    "ValidationScale",
+    "build_cells",
+    "resolve_scale",
+    "run_validation_grid",
+    "REGISTRY",
+    "Invariant",
+    "InvariantVerdict",
+    "evaluate_figure",
+    "COUNT_BAND",
+    "DEFAULT_BAND",
+    "FAIL",
+    "PASS",
+    "QUEUE_BAND",
+    "SKIP",
+    "WARN",
+    "BootstrapCi",
+    "CellComparison",
+    "TestResult",
+    "ToleranceBand",
+    "bootstrap_ci",
+    "compare_samples",
+    "mann_whitney_u",
+    "student_t_two_sided_p",
+    "welch_t_test",
+]

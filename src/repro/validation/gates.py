@@ -1,0 +1,492 @@
+"""Fidelity gates: baseline capture and the pass/warn/fail verdict run.
+
+``capture_baselines`` executes the validation grid and snapshots its
+per-seed metric samples into a checked-in JSON baseline.  ``run_gate``
+re-executes the *same* grid (pure cache hits when nothing changed),
+compares cell-by-cell against the baseline with the statistical machinery
+in :mod:`.stats`, evaluates the paper-trend invariants in
+:mod:`.invariants`, and optionally applies an engine-throughput perf gate
+against a benchmark payload embedded at capture time.
+
+Every verdict is mirrored into telemetry
+(``validation_verdicts_total{kind,status}`` plus ``validation`` trace
+events) when a telemetry hub is active.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..experiments.executor import Executor, get_default_executor
+from ..experiments.faults import RunFailure
+from ..experiments.report import format_failure_table, format_table, to_json
+from ..telemetry.runtime import get_active
+from .baselines import (
+    Baseline,
+    BaselineManifest,
+    ensure_clean_tree,
+)
+from .grids import GridOutcome, ValidationScale, resolve_scale, run_validation_grid
+from .invariants import InvariantVerdict, evaluate_figure
+from .stats import (
+    COUNT_BAND,
+    DEFAULT_BAND,
+    FAIL,
+    PASS,
+    QUEUE_BAND,
+    SKIP,
+    WARN,
+    CellComparison,
+    ToleranceBand,
+    compare_samples,
+)
+
+__all__ = [
+    "band_for",
+    "PerfVerdict",
+    "evaluate_perf",
+    "ValidationReport",
+    "capture_baselines",
+    "run_gate",
+    "default_baseline_path",
+]
+
+COUNT_METRICS = ("drops", "query_timeouts")
+QUEUE_METRIC_SUFFIX = "_pkts"
+
+
+def band_for(metric: str) -> ToleranceBand:
+    """Tolerance band by metric family: event counts are noisy and small,
+    queue depths moderately so, FCT statistics tightest."""
+    if metric in COUNT_METRICS:
+        return COUNT_BAND
+    if metric.endswith(QUEUE_METRIC_SUFFIX):
+        return QUEUE_BAND
+    return DEFAULT_BAND
+
+
+def default_baseline_path(baseline_dir: Union[str, Path], scale_name: str) -> Path:
+    return Path(baseline_dir) / f"{scale_name}.json"
+
+
+# ------------------------------------------------------------- perf gate
+
+PERF_WARN_RATIO = 0.8
+PERF_FAIL_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class PerfVerdict:
+    """Engine-throughput comparison against the baseline bench payload."""
+
+    status: str
+    ratio: Optional[float]
+    current_eps: Optional[float]
+    baseline_eps: Optional[float]
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "ratio": self.ratio,
+            "current_events_per_sec": self.current_eps,
+            "baseline_events_per_sec": self.baseline_eps,
+            "detail": self.detail,
+        }
+
+
+def _bench_eps(payload: Optional[dict]) -> Optional[float]:
+    if not payload:
+        return None
+    engine = payload.get("engine") or {}
+    eps = engine.get("events_per_sec")
+    return float(eps) if eps else None
+
+
+def evaluate_perf(
+    current: Optional[dict], baseline: Optional[dict]
+) -> PerfVerdict:
+    """Compare ``events_per_sec`` of two ``BENCH_engine.json`` payloads.
+
+    Missing either side skips the gate.  A host mismatch (different CPU
+    count or Python version) caps the verdict at WARN -- absolute
+    throughput is not comparable across machines.
+    """
+    current_eps = _bench_eps(current)
+    baseline_eps = _bench_eps(baseline)
+    if current_eps is None or baseline_eps is None:
+        return PerfVerdict(
+            status=SKIP,
+            ratio=None,
+            current_eps=current_eps,
+            baseline_eps=baseline_eps,
+            detail="bench payload missing on one side; perf gate skipped",
+        )
+    ratio = current_eps / baseline_eps
+    host_mismatch = []
+    for key, current_value in (
+        ("cpu_count", (current or {}).get("cpu_count")),
+        ("python", (current or {}).get("python")),
+    ):
+        baseline_value = (baseline or {}).get(key)
+        if (
+            current_value is not None
+            and baseline_value is not None
+            and current_value != baseline_value
+        ):
+            host_mismatch.append(key)
+    if ratio >= PERF_WARN_RATIO:
+        status = PASS
+        detail = f"throughput ratio {ratio:.2f} >= {PERF_WARN_RATIO}"
+    elif ratio >= PERF_FAIL_RATIO:
+        status = WARN
+        detail = f"throughput ratio {ratio:.2f} in [{PERF_FAIL_RATIO}, {PERF_WARN_RATIO})"
+    else:
+        status = FAIL
+        detail = f"throughput ratio {ratio:.2f} < {PERF_FAIL_RATIO}"
+    if host_mismatch and status == FAIL:
+        status = WARN
+        detail += f"; capped at warn (host mismatch: {', '.join(host_mismatch)})"
+    return PerfVerdict(
+        status=status,
+        ratio=ratio,
+        current_eps=current_eps,
+        baseline_eps=baseline_eps,
+        detail=detail,
+    )
+
+
+# -------------------------------------------------------------- reporting
+
+
+@dataclass
+class ValidationReport:
+    """Everything one gate run decided, renderable as JSON or text."""
+
+    scale: str
+    comparisons: List[CellComparison] = field(default_factory=list)
+    invariants: List[InvariantVerdict] = field(default_factory=list)
+    perf: Optional[PerfVerdict] = None
+    failures: List[RunFailure] = field(default_factory=list)
+    executor_line: str = ""
+    baseline_manifest: Optional[BaselineManifest] = None
+
+    @property
+    def status(self) -> str:
+        statuses = [c.status for c in self.comparisons]
+        statuses += [v.status for v in self.invariants]
+        if self.perf is not None:
+            statuses.append(self.perf.status)
+        if self.failures:
+            return FAIL  # cells that did not run cannot confirm fidelity
+        if FAIL in statuses:
+            return FAIL
+        if WARN in statuses:
+            return WARN
+        return PASS
+
+    def counts(self) -> Dict[str, int]:
+        counts = {PASS: 0, WARN: 0, FAIL: 0, SKIP: 0}
+        for item in [*self.comparisons, *self.invariants]:
+            counts[item.status] = counts.get(item.status, 0) + 1
+        return counts
+
+    def failed_names(self) -> List[str]:
+        names = [
+            f"{c.figure}:{c.cell}:{c.metric}"
+            for c in self.comparisons
+            if c.status == FAIL
+        ]
+        names += [v.name for v in self.invariants if v.status == FAIL]
+        if self.perf is not None and self.perf.status == FAIL:
+            names.append("perf.engine_events_per_sec")
+        return names
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "status": self.status,
+            "counts": self.counts(),
+            "failed": self.failed_names(),
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "invariants": [v.to_dict() for v in self.invariants],
+            "perf": None if self.perf is None else self.perf.to_dict(),
+            "run_failures": len(self.failures),
+            "executor": self.executor_line,
+            "baseline_manifest": (
+                None
+                if self.baseline_manifest is None
+                else self.baseline_manifest.to_dict()
+            ),
+        }
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        return to_json(self.to_dict(), path)
+
+    def render_text(self) -> str:
+        sections: List[str] = []
+        interesting = [c for c in self.comparisons if c.status != PASS]
+        rows = [
+            [
+                c.figure,
+                c.cell,
+                c.metric,
+                c.status.upper(),
+                f"{c.current_mean:.6g}" if c.current_mean is not None else "-",
+                f"{c.baseline_mean:.6g}" if c.baseline_mean is not None else "-",
+                f"{c.rel_err:.1%}" if c.rel_err is not None else "-",
+            ]
+            for c in interesting
+        ]
+        if rows:
+            sections.append(
+                format_table(
+                    ["figure", "cell", "metric", "status", "current",
+                     "baseline", "rel err"],
+                    rows,
+                    title="Baseline comparisons (non-pass cells)",
+                )
+            )
+        else:
+            sections.append(
+                f"Baseline comparisons: all {len(self.comparisons)} "
+                "cell-metrics pass"
+            )
+        inv_rows = [
+            [
+                v.figure,
+                v.name,
+                v.status.upper(),
+                f"{v.value:.4g}" if v.value is not None else "-",
+                f"{v.threshold:.4g}",
+                v.detail,
+            ]
+            for v in self.invariants
+        ]
+        if inv_rows:
+            sections.append(
+                format_table(
+                    ["figure", "invariant", "status", "value", "threshold",
+                     "detail"],
+                    inv_rows,
+                    title="Paper-trend invariants",
+                )
+            )
+        if self.perf is not None:
+            sections.append(
+                f"Perf gate: {self.perf.status.upper()} ({self.perf.detail})"
+            )
+        if self.failures:
+            sections.append(format_failure_table(self.failures))
+        counts = self.counts()
+        sections.append(
+            f"Validation [{self.scale}]: {self.status.upper()} "
+            f"(pass={counts[PASS]} warn={counts[WARN]} fail={counts[FAIL]} "
+            f"skip={counts[SKIP]}; run_failures={len(self.failures)}; "
+            f"{self.executor_line})"
+        )
+        return "\n\n".join(sections)
+
+
+def _emit_verdicts(report: ValidationReport) -> None:
+    telemetry = get_active()
+    if telemetry is None:
+        return
+    for c in report.comparisons:
+        telemetry.on_validation_verdict(
+            "baseline",
+            f"{c.figure}:{c.cell}:{c.metric}",
+            c.status,
+            figure=c.figure,
+            detail=c.detail,
+        )
+    for v in report.invariants:
+        telemetry.on_validation_verdict(
+            "invariant",
+            v.name,
+            v.status,
+            figure=v.figure,
+            detail=v.detail,
+        )
+    if report.perf is not None:
+        telemetry.on_validation_verdict(
+            "perf",
+            "engine_events_per_sec",
+            report.perf.status,
+            detail=report.perf.detail,
+        )
+
+
+# --------------------------------------------------------------- capture
+
+
+def _figure_params(scale: ValidationScale, figure: str) -> dict:
+    params: Dict[str, object] = {"n_seeds": scale.n_seeds}
+    if figure in ("fig6", "fig7"):
+        prefix = figure
+        params.update(
+            loads=list(getattr(scale, f"{prefix}_loads")),
+            n_flows=getattr(scale, f"{prefix}_flows"),
+            seed=getattr(scale, f"{prefix}_seed"),
+            schemes=list(scale.fig6_schemes),
+        )
+    elif figure == "fig8":
+        params.update(
+            variations=list(scale.fig8_variations),
+            loads=list(scale.fig8_loads),
+            n_flows=scale.fig8_flows,
+            seed=scale.fig8_seed,
+        )
+    elif figure == "fig10":
+        params.update(
+            fanout=scale.fig10_fanout,
+            seed=scale.fig10_seed,
+            schemes=list(scale.fig10_schemes),
+        )
+    elif figure == "fig11":
+        params.update(
+            fanouts=list(scale.fig11_fanouts),
+            seed=scale.fig11_seed,
+            schemes=list(scale.fig11_schemes),
+        )
+    elif figure == "fig12":
+        params.update(
+            load=scale.fig12_load,
+            intervals_us=list(scale.fig12_intervals_us),
+            targets_us=list(scale.fig12_targets_us),
+            n_flows_web=scale.fig12_flows_web,
+            n_flows_mining=scale.fig12_flows_mining,
+            seed=scale.fig12_seed,
+        )
+    return params
+
+
+def _load_bench(bench_path: Optional[Union[str, Path]]) -> Optional[dict]:
+    if bench_path is None:
+        return None
+    with open(bench_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def capture_baselines(
+    scale: Union[str, ValidationScale],
+    executor: Optional[Executor] = None,
+    baseline_dir: Union[str, Path] = "baselines",
+    force: bool = False,
+    bench_path: Optional[Union[str, Path]] = None,
+) -> Tuple[Baseline, Path, GridOutcome]:
+    """Run the validation grid and write ``baselines/<scale>.json``.
+
+    Refuses to capture from a dirty working tree (unless ``force``) and
+    from a grid with failed cells -- a golden baseline must be complete
+    and reproducible.
+    """
+    scale = resolve_scale(scale)
+    dirty = ensure_clean_tree(force=force)
+    executor = executor or get_default_executor()
+    outcome = run_validation_grid(scale, executor)
+    if outcome.failures:
+        tokens = ", ".join(f.spec_key for f in outcome.failures[:5])
+        raise RuntimeError(
+            f"refusing to capture a baseline from a grid with "
+            f"{len(outcome.failures)} failed run(s): {tokens}"
+        )
+    figures: Dict[str, dict] = {}
+    for figure in scale.figures:
+        cells = {
+            key: {
+                "metrics": outcome.samples[figure][key],
+                "tokens": outcome.tokens[figure][key],
+            }
+            for key in outcome.samples.get(figure, {})
+        }
+        figures[figure] = {
+            "params": _figure_params(scale, figure),
+            "cells": cells,
+        }
+    baseline = Baseline(
+        manifest=BaselineManifest.collect(scale.name, dirty=dirty),
+        figures=figures,
+        bench=_load_bench(bench_path),
+    )
+    path = default_baseline_path(baseline_dir, scale.name)
+    baseline.save(path)
+    return baseline, path, outcome
+
+
+# ------------------------------------------------------------------ gate
+
+
+def run_gate(
+    scale: Union[str, ValidationScale],
+    executor: Optional[Executor] = None,
+    baseline_path: Optional[Union[str, Path]] = None,
+    baseline_dir: Union[str, Path] = "baselines",
+    bench_path: Optional[Union[str, Path]] = None,
+    seed: int = 0,
+) -> ValidationReport:
+    """Execute the grid and evaluate every gate against the baseline.
+
+    Raises :class:`FileNotFoundError` when the baseline file is missing and
+    :class:`~.baselines.StaleBaselineError` when it no longer matches the
+    current code or grid definition.
+    """
+    scale = resolve_scale(scale)
+    path = (
+        Path(baseline_path)
+        if baseline_path is not None
+        else default_baseline_path(baseline_dir, scale.name)
+    )
+    if not path.exists():
+        raise FileNotFoundError(
+            f"baseline {path} not found; run 'repro validate capture "
+            f"--scale {scale.name}' first"
+        )
+    baseline = Baseline.load(path)
+    baseline.check_compatible()
+
+    executor = executor or get_default_executor()
+    outcome = run_validation_grid(scale, executor)
+
+    comparisons: List[CellComparison] = []
+    for figure in scale.figures:
+        for cell_key, metrics in outcome.samples.get(figure, {}).items():
+            baseline.check_tokens(
+                figure, cell_key, outcome.tokens[figure][cell_key]
+            )
+            for metric, current in sorted(metrics.items()):
+                reference = baseline.cell_samples(figure, cell_key, metric)
+                comparisons.append(
+                    compare_samples(
+                        figure,
+                        cell_key,
+                        metric,
+                        current,
+                        reference or [],
+                        band=band_for(metric),
+                        seed=seed,
+                    )
+                )
+
+    invariants: List[InvariantVerdict] = []
+    for figure in scale.figures:
+        invariants.extend(
+            evaluate_figure(figure, outcome.figure_results.get(figure))
+        )
+
+    perf = evaluate_perf(_load_bench(bench_path), baseline.bench)
+
+    report = ValidationReport(
+        scale=scale.name,
+        comparisons=comparisons,
+        invariants=invariants,
+        perf=perf,
+        failures=outcome.failures,
+        executor_line=executor.stats.merge_line(),
+        baseline_manifest=baseline.manifest,
+    )
+    _emit_verdicts(report)
+    return report

@@ -1,0 +1,419 @@
+"""Declarative registry of paper-trend invariants.
+
+Baseline comparison (:mod:`repro.validation.stats`) answers "did the
+numbers move since the golden capture?".  This module answers the stronger
+question: "does the reproduction still exhibit the paper's *trends*?"  Each
+:class:`Invariant` encodes one claim from the source paper as a predicate
+over a figure's assembled result object, with a threshold calibrated for
+the reduced-scale validation grids (generous relative to the paper's
+full-scale effect sizes, so seed noise cannot flip a healthy tree):
+
+* Figures 6/7 -- ECN# improves short-flow average FCT over DCTCP-RED-Tail
+  and stays near parity on large flows;
+* Figure 8 -- the short-flow p99 gain does not shrink as RTT variation
+  grows;
+* Figure 10 -- ECN# collapses the persistent queue RED-Tail leaves behind;
+* Figure 11 -- CoDel's query collapse onset is inside the sweep and
+  earlier than ECN#'s;
+* Figure 12 -- ECN# is insensitive to its parameters (bounded FCT spread).
+
+Verdicts are machine-readable (:class:`InvariantVerdict`), named
+``<figure>.<claim>``, and carry the observed value next to the threshold
+so a CI failure message stands alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.faults import is_failure
+from .stats import FAIL, PASS, SKIP
+
+__all__ = ["Invariant", "InvariantVerdict", "REGISTRY", "evaluate_figure"]
+
+# A check returns (ok, observed value, detail); ok=None means SKIP.
+CheckResult = Tuple[Optional[bool], Optional[float], str]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One paper-trend assertion over an assembled figure result."""
+
+    name: str
+    figure: str
+    description: str
+    threshold: float
+    check: Callable[[object, float], CheckResult]
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """Machine-readable outcome of one invariant evaluation."""
+
+    name: str
+    figure: str
+    status: str
+    value: Optional[float]
+    threshold: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "figure": self.figure,
+            "status": self.status,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+# ------------------------------------------------------------- fig6 / fig7
+
+
+def _check_short_avg_gain(result, threshold: float) -> CheckResult:
+    if "ECN#" not in result.schemes or "DCTCP-RED-Tail" not in result.schemes:
+        return None, None, "grid lacks ECN# or DCTCP-RED-Tail"
+    gain = result.best_short_avg_gain("ECN#")
+    if gain is None:
+        return None, None, "no short-flow data"
+    ok = gain >= threshold
+    return ok, gain, (
+        f"best short-flow avg FCT gain of ECN# vs RED-Tail = {gain:.1%} "
+        f"(require >= {threshold:.1%})"
+    )
+
+
+def _check_large_flow_parity(result, threshold: float) -> CheckResult:
+    if "ECN#" not in result.schemes or "DCTCP-RED-Tail" not in result.schemes:
+        return None, None, "grid lacks ECN# or DCTCP-RED-Tail"
+    worst: Optional[float] = None
+    for load in result.loads:
+        ratio = result.normalized(load, "ECN#").large_avg
+        if ratio is not None and (worst is None or ratio > worst):
+            worst = ratio
+    if worst is None:
+        return None, None, "no large-flow data at this scale"
+    ok = worst <= threshold
+    return ok, worst, (
+        f"worst ECN#/RED-Tail large-flow avg FCT ratio = {worst:.2f} "
+        f"(require <= {threshold:.2f})"
+    )
+
+
+# -------------------------------------------------------------------- fig8
+
+
+def _fig8_mean_gain(result, variation: float) -> Optional[float]:
+    gains = []
+    for load in result.loads:
+        nfct = result.nfct(variation, load, "short_p99")
+        if nfct is not None:
+            gains.append(1.0 - nfct)
+    if not gains:
+        return None
+    return sum(gains) / len(gains)
+
+
+def _check_gain_grows_with_variation(result, threshold: float) -> CheckResult:
+    low, high = min(result.variations), max(result.variations)
+    gain_low = _fig8_mean_gain(result, low)
+    gain_high = _fig8_mean_gain(result, high)
+    if gain_low is None or gain_high is None:
+        return None, None, "missing short-p99 data at an endpoint"
+    # Noise allowance: the high-variation gain may not *strictly* exceed
+    # the low-variation one, but it must not collapse below threshold x it.
+    ok = gain_high >= threshold * gain_low
+    return ok, gain_high, (
+        f"short-p99 gain {gain_low:.1%} at {low:g}x -> {gain_high:.1%} at "
+        f"{high:g}x (require gain@{high:g}x >= {threshold:g} * gain@{low:g}x)"
+    )
+
+
+def _check_fig8_overall_parity(result, threshold: float) -> CheckResult:
+    worst: Optional[float] = None
+    for variation in result.variations:
+        for load in result.loads:
+            nfct = result.nfct(variation, load, "overall_avg")
+            if nfct is not None and (worst is None or nfct > worst):
+                worst = nfct
+    if worst is None:
+        return None, None, "no overall-avg data"
+    ok = worst <= threshold
+    return ok, worst, (
+        f"worst ECN#/RED-Tail overall-avg NFCT = {worst:.2f} "
+        f"(require <= {threshold:.2f})"
+    )
+
+
+# ------------------------------------------------------------------- fig10
+
+
+def _fig10_run(result, scheme: str):
+    run = result.runs.get(scheme)
+    if run is None or is_failure(run):
+        return None
+    return run
+
+
+def _check_persistent_queue_collapse(result, threshold: float) -> CheckResult:
+    red = _fig10_run(result, "DCTCP-RED-Tail")
+    sharp = _fig10_run(result, "ECN#")
+    if red is None or sharp is None:
+        return None, None, "missing RED-Tail or ECN# run"
+    if red.standing_queue_pkts <= 0:
+        return None, None, "RED-Tail built no standing queue"
+    ratio = sharp.standing_queue_pkts / red.standing_queue_pkts
+    ok = ratio <= threshold
+    return ok, ratio, (
+        f"ECN# standing queue {sharp.standing_queue_pkts:.1f} pkts vs "
+        f"RED-Tail {red.standing_queue_pkts:.1f} pkts, ratio {ratio:.2f} "
+        f"(require <= {threshold:.2f})"
+    )
+
+
+def _check_ecn_sharp_floor(result, threshold: float) -> CheckResult:
+    sharp = _fig10_run(result, "ECN#")
+    if sharp is None:
+        return None, None, "missing ECN# run"
+    floor = sharp.floor_queue_pkts
+    ok = floor <= threshold
+    return ok, floor, (
+        f"ECN# converged queue floor = {floor:.1f} pkts "
+        f"(require <= {threshold:.0f})"
+    )
+
+
+def _check_red_tail_standing(result, threshold: float) -> CheckResult:
+    red = _fig10_run(result, "DCTCP-RED-Tail")
+    if red is None:
+        return None, None, "missing RED-Tail run"
+    standing = red.standing_queue_pkts
+    ok = standing >= threshold
+    return ok, standing, (
+        f"RED-Tail standing queue = {standing:.1f} pkts "
+        f"(require >= {threshold:.0f}: the tail threshold must leave a "
+        "persistent queue for ECN# to collapse)"
+    )
+
+
+# ------------------------------------------------------------------- fig11
+
+
+def _fig11_collapse_onset(result, scheme: str) -> Optional[int]:
+    """First fanout with drops or query timeouts (None: clean sweep)."""
+    for fanout in result.fanouts:
+        run = result.runs[fanout][scheme]
+        if is_failure(run):
+            continue
+        if run.drops > 0 or run.query_timeouts > 0:
+            return fanout
+    return None
+
+
+def _check_codel_collapse_in_sweep(result, threshold: float) -> CheckResult:
+    if "CoDel" not in result.schemes:
+        return None, None, "grid lacks CoDel"
+    onset = _fig11_collapse_onset(result, "CoDel")
+    ok = onset is not None and onset <= threshold
+    value = float(onset) if onset is not None else None
+    return ok, value, (
+        f"CoDel first loss/timeout at fanout "
+        f"{onset if onset is not None else '>max'} "
+        f"(require onset <= {threshold:.0f})"
+    )
+
+
+def _check_ecn_sharp_outlasts_codel(result, threshold: float) -> CheckResult:
+    if "CoDel" not in result.schemes or "ECN#" not in result.schemes:
+        return None, None, "grid lacks CoDel or ECN#"
+    codel = _fig11_collapse_onset(result, "CoDel")
+    sharp = _fig11_collapse_onset(result, "ECN#")
+    if codel is None:
+        return None, None, "CoDel never collapsed in this sweep"
+    ok = sharp is None or sharp > codel
+    value = float(sharp) if sharp is not None else None
+    return ok, value, (
+        f"ECN# first loss/timeout at fanout "
+        f"{sharp if sharp is not None else '>max'} vs CoDel at {codel} "
+        "(require ECN# onset strictly later)"
+    )
+
+
+# ------------------------------------------------------------------- fig12
+
+
+def _check_sensitivity_spread(result, threshold: float) -> CheckResult:
+    spreads = []
+    for workload in result.interval_fct:
+        for spread in (
+            result.interval_spread(workload),
+            result.target_spread(workload),
+        ):
+            if spread is not None:
+                spreads.append(spread)
+    if not spreads:
+        return None, None, "no sensitivity data"
+    worst = max(spreads)
+    ok = worst <= threshold
+    return ok, worst, (
+        f"worst overall-FCT spread across ECN# parameter sweeps = "
+        f"{worst:.1%} (require <= {threshold:.0%})"
+    )
+
+
+# ---------------------------------------------------------------- registry
+
+
+def _fct_vs_load_invariants(figure: str) -> Tuple[Invariant, ...]:
+    return (
+        Invariant(
+            name=f"{figure}.short_avg_improvement",
+            figure=figure,
+            description=(
+                "ECN# improves short-flow average FCT over DCTCP-RED-Tail "
+                "at some load (paper: up to 23-31%)"
+            ),
+            threshold=0.02,
+            check=_check_short_avg_gain,
+        ),
+        Invariant(
+            name=f"{figure}.large_flow_parity",
+            figure=figure,
+            description=(
+                "ECN# stays near large-flow FCT parity with DCTCP-RED-Tail "
+                "(paper: comparable throughput)"
+            ),
+            threshold=1.15,
+            check=_check_large_flow_parity,
+        ),
+    )
+
+
+REGISTRY: Dict[str, Tuple[Invariant, ...]] = {
+    "fig6": _fct_vs_load_invariants("fig6"),
+    "fig7": _fct_vs_load_invariants("fig7"),
+    "fig8": (
+        Invariant(
+            name="fig8.gain_grows_with_variation",
+            figure="fig8",
+            description=(
+                "ECN#'s short-p99 gain over RED-Tail does not shrink as "
+                "RTT variation grows (paper: -37% at 3x to -73% at 5x)"
+            ),
+            threshold=0.8,
+            check=_check_gain_grows_with_variation,
+        ),
+        Invariant(
+            name="fig8.overall_parity",
+            figure="fig8",
+            description=(
+                "ECN# keeps overall-average FCT within ~15% of RED-Tail "
+                "at every variation (paper: within ~8%)"
+            ),
+            threshold=1.15,
+            check=_check_fig8_overall_parity,
+        ),
+    ),
+    "fig10": (
+        Invariant(
+            name="fig10.persistent_queue_collapse",
+            figure="fig10",
+            description=(
+                "ECN# collapses the standing queue DCTCP-RED-Tail keeps "
+                "near its tail-RTT threshold (paper: ~182 pkt -> ~8 pkt)"
+            ),
+            threshold=0.4,
+            check=_check_persistent_queue_collapse,
+        ),
+        Invariant(
+            name="fig10.ecn_sharp_floor",
+            figure="fig10",
+            description=(
+                "ECN#'s converged (best-5ms-window) queue stays small"
+            ),
+            threshold=40.0,
+            check=_check_ecn_sharp_floor,
+        ),
+        Invariant(
+            name="fig10.red_tail_standing_queue",
+            figure="fig10",
+            description=(
+                "DCTCP-RED-Tail's tail-RTT threshold leaves a substantial "
+                "persistent queue (the pathology ECN# removes)"
+            ),
+            threshold=100.0,
+            check=_check_red_tail_standing,
+        ),
+    ),
+    "fig11": (
+        Invariant(
+            name="fig11.codel_collapse_in_sweep",
+            figure="fig11",
+            description=(
+                "CoDel's query-FCT collapse (first drops/timeouts) occurs "
+                "inside the fanout sweep (paper: ~100 senders)"
+            ),
+            threshold=200.0,
+            check=_check_codel_collapse_in_sweep,
+        ),
+        Invariant(
+            name="fig11.ecn_sharp_outlasts_codel",
+            figure="fig11",
+            description=(
+                "ECN# tolerates strictly larger fanouts than CoDel before "
+                "losses/timeouts (paper: ~1.75x burst tolerance)"
+            ),
+            threshold=0.0,
+            check=_check_ecn_sharp_outlasts_codel,
+        ),
+    ),
+    "fig12": (
+        Invariant(
+            name="fig12.sensitivity_spread",
+            figure="fig12",
+            description=(
+                "ECN# overall FCT is insensitive to pst_interval/pst_target "
+                "(paper: < ~1% spread; reduced-scale bound is looser)"
+            ),
+            threshold=0.20,
+            check=_check_sensitivity_spread,
+        ),
+    ),
+}
+"""Every gated invariant, keyed by figure."""
+
+
+def evaluate_figure(figure: str, result: object) -> List[InvariantVerdict]:
+    """Run every registered invariant of ``figure`` against its assembled
+    result object (``None`` when the grid could not assemble it -- each
+    invariant then reports SKIP, which the gate treats as non-passing
+    only alongside recorded run failures)."""
+    verdicts: List[InvariantVerdict] = []
+    for invariant in REGISTRY.get(figure, ()):
+        if result is None:
+            verdicts.append(
+                InvariantVerdict(
+                    name=invariant.name,
+                    figure=figure,
+                    status=SKIP,
+                    value=None,
+                    threshold=invariant.threshold,
+                    detail="figure result unavailable (failed cells)",
+                )
+            )
+            continue
+        ok, value, detail = invariant.check(result, invariant.threshold)
+        status = SKIP if ok is None else (PASS if ok else FAIL)
+        verdicts.append(
+            InvariantVerdict(
+                name=invariant.name,
+                figure=figure,
+                status=status,
+                value=value,
+                threshold=invariant.threshold,
+                detail=detail,
+            )
+        )
+    return verdicts

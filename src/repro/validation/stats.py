@@ -1,0 +1,404 @@
+"""Seed-pooled statistical comparison machinery for the validation gates.
+
+A validation run compares the current per-seed metric samples of every grid
+cell against its golden baseline samples.  Exact-float equality would make
+the gate useless across legitimate code evolution (event-ordering tweaks,
+numeric refactors), so each cell gets a principled pass/warn/fail verdict
+from three ingredients:
+
+* **relative-tolerance bands** -- the primary check.  Small drifts pass, a
+  moderate band warns, and only a shift past the fail band can fail;
+* **two-sample tests** -- Welch's t (unequal variances) and Mann-Whitney U
+  (rank-based, no normality assumption) temper large-looking shifts: a
+  shift past the fail band with overlapping, statistically-indistinct
+  samples degrades to a warning instead of failing the gate;
+* **bootstrap confidence intervals** -- reported per cell for context, and
+  reused by the workload-fidelity tests.
+
+Everything here is numpy + stdlib only (no scipy in the image): the
+Student-t CDF comes from the regularized incomplete beta function via a
+Lentz continued fraction, and Mann-Whitney uses the tie-corrected normal
+approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.stats_util import mean_or_none
+
+__all__ = [
+    "PASS",
+    "WARN",
+    "FAIL",
+    "SKIP",
+    "BootstrapCi",
+    "bootstrap_ci",
+    "student_t_two_sided_p",
+    "TestResult",
+    "welch_t_test",
+    "mann_whitney_u",
+    "ToleranceBand",
+    "DEFAULT_BAND",
+    "COUNT_BAND",
+    "QUEUE_BAND",
+    "CellComparison",
+    "compare_samples",
+]
+
+PASS = "pass"
+WARN = "warn"
+FAIL = "fail"
+SKIP = "skip"
+
+_EPS = 1e-12
+
+
+# ------------------------------------------------------------- bootstrap
+
+
+@dataclass(frozen=True)
+class BootstrapCi:
+    """A percentile-bootstrap confidence interval for one statistic."""
+
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+    statistic: Optional[Callable[[np.ndarray], float]] = None,
+) -> BootstrapCi:
+    """Percentile bootstrap CI of ``statistic`` (default: the mean).
+
+    Deterministic for a given ``seed``.  A single-element sample yields the
+    degenerate interval ``[v, v]`` (zero resamples) rather than an error,
+    so n=1 cells can still be compared.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("bootstrap of an empty sample is undefined")
+    stat = statistic if statistic is not None else (lambda a: float(np.mean(a)))
+    if data.size == 1:
+        value = float(stat(data))
+        return BootstrapCi(value, value, confidence, 0)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    estimates = np.fromiter(
+        (stat(data[row]) for row in indices), dtype=float, count=n_resamples
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return BootstrapCi(float(low), float(high), confidence, n_resamples)
+
+
+# ------------------------------------------------- Student-t without scipy
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Lentz continued fraction for the incomplete beta function."""
+    max_iterations = 300
+    eps = 3e-12
+    fpmin = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < fpmin:
+        d = fpmin
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < fpmin:
+            d = fpmin
+        c = 1.0 + aa / c
+        if abs(c) < fpmin:
+            c = fpmin
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def _betai(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_bt = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    bt = math.exp(ln_bt)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return bt * _betacf(a, b, x) / a
+    return 1.0 - bt * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_two_sided_p(t: float, df: float) -> float:
+    """Two-sided p-value of a Student-t statistic with ``df`` degrees of
+    freedom: ``I_{df/(df+t^2)}(df/2, 1/2)``."""
+    if df <= 0 or not math.isfinite(t):
+        return 0.0 if math.isinf(t) else 1.0
+    return min(1.0, max(0.0, _betai(df / 2.0, 0.5, df / (df + t * t))))
+
+
+# ---------------------------------------------------------- two-sample tests
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One two-sample test outcome."""
+
+    statistic: float
+    p_value: float
+    method: str
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> Optional[TestResult]:
+    """Welch's unequal-variance t-test (two-sided).
+
+    Returns ``None`` when either sample has fewer than two elements (the
+    variance is undefined); deterministic identical samples give p = 1.
+    """
+    xs = np.asarray(list(a), dtype=float)
+    ys = np.asarray(list(b), dtype=float)
+    if xs.size < 2 or ys.size < 2:
+        return None
+    var_x = float(xs.var(ddof=1))
+    var_y = float(ys.var(ddof=1))
+    se2 = var_x / xs.size + var_y / ys.size
+    diff = float(xs.mean() - ys.mean())
+    if se2 <= 0.0:
+        # Both samples are constants: equal means are a perfect match,
+        # unequal constant means are an unambiguous difference.
+        if abs(diff) <= _EPS:
+            return TestResult(0.0, 1.0, "welch-t")
+        return TestResult(math.inf if diff > 0 else -math.inf, 0.0, "welch-t")
+    t = diff / math.sqrt(se2)
+    df = se2 * se2 / (
+        var_x * var_x / (xs.size * xs.size * (xs.size - 1))
+        + var_y * var_y / (ys.size * ys.size * (ys.size - 1))
+    )
+    return TestResult(t, student_t_two_sided_p(t, df), "welch-t")
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Midranks (ties get the average of the ranks they span), 1-based."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_values = values[order]
+    index = 0
+    while index < values.size:
+        end = index
+        while end + 1 < values.size and sorted_values[end + 1] == sorted_values[index]:
+            end += 1
+        ranks[order[index : end + 1]] = (index + end) / 2.0 + 1.0
+        index = end + 1
+    return ranks
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Optional[TestResult]:
+    """Mann-Whitney U (two-sided, tie-corrected normal approximation with
+    continuity correction).  ``None`` when either sample is empty."""
+    xs = np.asarray(list(a), dtype=float)
+    ys = np.asarray(list(b), dtype=float)
+    n1, n2 = xs.size, ys.size
+    if n1 == 0 or n2 == 0:
+        return None
+    combined = np.concatenate([xs, ys])
+    ranks = _average_ranks(combined)
+    u1 = float(ranks[:n1].sum()) - n1 * (n1 + 1) / 2.0
+    n = n1 + n2
+    mu = n1 * n2 / 2.0
+    _, counts = np.unique(combined, return_counts=True)
+    tie_term = float(((counts**3) - counts).sum())
+    if n < 2:
+        return TestResult(u1, 1.0, "mann-whitney-u")
+    sigma2 = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma2 <= 0.0:
+        return TestResult(u1, 1.0, "mann-whitney-u")  # all values tied
+    shift = u1 - mu
+    correction = 0.5 if shift > 0 else (-0.5 if shift < 0 else 0.0)
+    z = (shift - correction) / math.sqrt(sigma2)
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return TestResult(u1, min(1.0, p), "mann-whitney-u")
+
+
+# -------------------------------------------------------- verdict machinery
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """Pass/warn/fail thresholds for one metric comparison.
+
+    ``abs_warn`` is an absolute-difference floor below which the comparison
+    always passes -- essential for count-like metrics (drops, timeouts)
+    whose baselines are legitimately zero.
+    """
+
+    rel_warn: float = 0.05
+    rel_fail: float = 0.15
+    abs_warn: float = 0.0
+    alpha: float = 0.05
+
+
+DEFAULT_BAND = ToleranceBand()
+"""FCT-style continuous metrics: 5% free drift, 15% before a potential fail."""
+
+COUNT_BAND = ToleranceBand(rel_warn=0.25, rel_fail=0.75, abs_warn=2.0)
+"""Small-integer event counts (drops, timeouts): +-2 events always pass."""
+
+QUEUE_BAND = ToleranceBand(rel_warn=0.10, rel_fail=0.30, abs_warn=3.0)
+"""Queue-occupancy averages (packets): sawtooth phase makes them noisier
+than FCT means, and a 3-packet absolute drift on a ~10 pkt floor is noise."""
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One (cell, metric) baseline-vs-current verdict with its evidence."""
+
+    figure: str
+    cell: str
+    metric: str
+    status: str
+    current_mean: Optional[float]
+    baseline_mean: Optional[float]
+    rel_err: Optional[float]
+    n_current: int
+    n_baseline: int
+    p_welch: Optional[float]
+    p_mwu: Optional[float]
+    ci_low: Optional[float]
+    ci_high: Optional[float]
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "cell": self.cell,
+            "metric": self.metric,
+            "status": self.status,
+            "current_mean": self.current_mean,
+            "baseline_mean": self.baseline_mean,
+            "rel_err": self.rel_err,
+            "n_current": self.n_current,
+            "n_baseline": self.n_baseline,
+            "p_welch": self.p_welch,
+            "p_mwu": self.p_mwu,
+            "baseline_ci": [self.ci_low, self.ci_high],
+            "detail": self.detail,
+        }
+
+
+def compare_samples(
+    figure: str,
+    cell: str,
+    metric: str,
+    current: Sequence[Optional[float]],
+    baseline: Sequence[Optional[float]],
+    band: ToleranceBand = DEFAULT_BAND,
+    seed: int = 0,
+) -> CellComparison:
+    """Compare one cell metric's current seed samples to its baseline.
+
+    Verdict ladder: inside ``rel_warn`` (or within ``abs_warn``
+    absolutely) -> pass; inside ``rel_fail`` -> warn; beyond ``rel_fail``
+    -> fail, *unless* both sides have >= 2 samples that overlap in range
+    and neither Welch nor Mann-Whitney rejects at ``alpha`` (then the
+    shift is plausibly seed noise and the verdict degrades to warn).
+    """
+    cur: List[float] = [float(v) for v in current if v is not None]
+    base: List[float] = [float(v) for v in baseline if v is not None]
+    if not cur or not base:
+        side = "current" if not cur else "baseline"
+        return CellComparison(
+            figure, cell, metric, SKIP, mean_or_none(cur), mean_or_none(base),
+            None, len(cur), len(base), None, None, None, None,
+            f"no {side} samples",
+        )
+    mean_cur = float(mean_or_none(cur))
+    mean_base = float(mean_or_none(base))
+    abs_err = abs(mean_cur - mean_base)
+    if mean_base == 0.0:
+        rel_err = 0.0 if abs_err <= _EPS else math.inf
+    else:
+        rel_err = abs_err / abs(mean_base)
+    ci = bootstrap_ci(base, seed=seed)
+    welch = welch_t_test(cur, base)
+    mwu = mann_whitney_u(cur, base)
+    p_welch = welch.p_value if welch is not None else None
+    p_mwu = mwu.p_value if mwu is not None else None
+
+    if abs_err <= band.abs_warn or rel_err <= band.rel_warn:
+        status = PASS
+        detail = f"rel_err={_fmt_rel(rel_err)} within {band.rel_warn:.0%}"
+    elif rel_err <= band.rel_fail:
+        status = WARN
+        detail = (
+            f"rel_err={_fmt_rel(rel_err)} in warn band "
+            f"({band.rel_warn:.0%}..{band.rel_fail:.0%})"
+        )
+    else:
+        separated = min(cur) > max(base) or max(cur) < min(base)
+        significant = (p_welch is not None and p_welch <= band.alpha) or (
+            p_mwu is not None and p_mwu <= band.alpha
+        )
+        if len(cur) >= 2 and len(base) >= 2 and not separated and not significant:
+            status = WARN
+            detail = (
+                f"rel_err={_fmt_rel(rel_err)} > {band.rel_fail:.0%} but samples "
+                f"overlap and tests do not reject (p_welch={_fmt_p(p_welch)}, "
+                f"p_mwu={_fmt_p(p_mwu)})"
+            )
+        else:
+            status = FAIL
+            evidence = "sample ranges are disjoint" if separated else (
+                f"p_welch={_fmt_p(p_welch)}, p_mwu={_fmt_p(p_mwu)}"
+            )
+            detail = (
+                f"rel_err={_fmt_rel(rel_err)} > {band.rel_fail:.0%}; {evidence}"
+            )
+    return CellComparison(
+        figure, cell, metric, status, mean_cur, mean_base, rel_err,
+        len(cur), len(base), p_welch, p_mwu, ci.low, ci.high, detail,
+    )
+
+
+def _fmt_rel(rel_err: float) -> str:
+    return "inf" if math.isinf(rel_err) else f"{rel_err:.1%}"
+
+
+def _fmt_p(p: Optional[float]) -> str:
+    return "-" if p is None else f"{p:.3f}"

@@ -80,7 +80,7 @@ class TestQueueMonitor:
         assert byte_counts == [s.bytes for s in monitor.samples]
         assert byte_counts[0] == 4 * 1500  # 5 sent, 1 serializing
 
-    def test_percentile_nearest_rank(self, sim):
+    def test_percentile_linear_interpolation(self, sim):
         port = make_port(sim)
         monitor = QueueMonitor(sim, port, interval=us(1))
         monitor.samples[:] = [
@@ -88,10 +88,13 @@ class TestQueueMonitor:
             for i, packets in enumerate([1, 2, 3, 4, 10])
         ]
         assert monitor.percentile(50) == 3.0
-        assert monitor.percentile(0) == 1.0  # nearest-rank floor: rank 1
+        assert monitor.percentile(0) == 1.0
         assert monitor.percentile(100) == 10.0
-        assert monitor.percentile(95, bytes_=True) == 15_000.0
-        assert monitor.percentiles() == {50.0: 3.0, 95.0: 10.0, 99.0: 10.0}
+        # rank (5-1)*0.95 = 3.8 -> lerp between 6000 and 15000
+        assert monitor.percentile(95, bytes_=True) == pytest.approx(13_200.0)
+        assert monitor.percentiles() == pytest.approx(
+            {50.0: 3.0, 95.0: 8.8, 99.0: 9.76}
+        )
 
     def test_percentile_rejects_out_of_range(self, sim):
         port = make_port(sim)

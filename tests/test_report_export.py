@@ -1,0 +1,90 @@
+"""Tests for machine-readable grid export: report.to_json/to_csv and the
+CLI's ``--results-out``."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.report import to_csv, to_json
+
+
+class TestToJson:
+    def test_returns_sorted_indented_text(self):
+        text = to_json({"b": 1, "a": [1, 2]})
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"b": 1, "a": [1, 2]}
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = to_json({"x": 1.5}, str(path))
+        assert path.read_text() == text
+
+
+class TestToCsv:
+    def test_round_trips_through_csv_reader(self, tmp_path):
+        path = tmp_path / "out.csv"
+        to_csv(
+            ["figure", "cell", "value"],
+            [["fig5", "a", 1.25], ["fig5", "b", 2.5]],
+            str(path),
+        )
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [
+            ["figure", "cell", "value"],
+            ["fig5", "a", "1.25"],
+            ["fig5", "b", "2.5"],
+        ]
+
+    def test_returns_text_without_path(self):
+        text = to_csv(["h"], [["v"]])
+        assert text == "h\nv\n"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [["only-one"]])
+
+
+class TestCliResultsOut:
+    def test_fig5_results_out_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig5.json"
+        assert main(["run", "fig5", "--results-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == "fig5"
+        assert "workload=web-search" in payload["cells"]
+        assert "mean_bytes" in payload["cells"]["workload=web-search"]
+        assert "results written" in capsys.readouterr().out
+
+    def test_fig5_results_out_csv(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "fig5.csv"
+        assert main(["run", "fig5", "--results-out", str(out)]) == 0
+        with open(out, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["figure", "cell", "metric", "value"]
+        assert any(row[1] == "workload=data-mining" for row in rows[1:])
+
+    def test_missing_directory_rejected_before_running(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run", "fig5",
+                    "--results-out", str(tmp_path / "nope" / "x.json"),
+                ]
+            )
+
+    def test_table1_results_out(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "table1.json"
+        assert main(["run", "table1", "--results-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["figure"] == "table1"
+        assert payload["derived"]["variation_ratio"] > 1.5

@@ -1,0 +1,237 @@
+"""Tests for the paper-trend invariant registry, on synthetic results."""
+
+from repro.experiments.fct import FctSummary
+from repro.experiments.figures.fig6_fig7 import FctVsLoadResult
+from repro.experiments.figures.fig8 import Fig8Result
+from repro.experiments.figures.fig10 import Fig10Result, MicroscopicRun
+from repro.experiments.figures.fig11 import Fig11Result
+from repro.experiments.figures.fig12 import Fig12Result
+from repro.sim.units import ms
+from repro.validation.invariants import REGISTRY, evaluate_figure
+from repro.validation.stats import FAIL, PASS, SKIP
+
+
+def summary(short_avg=1.0, large_avg=10.0, overall_avg=2.0):
+    return FctSummary(
+        n_flows=100,
+        overall_avg=overall_avg,
+        overall_p99=overall_avg * 4,
+        short_avg=short_avg,
+        short_p99=short_avg * 3,
+        large_avg=large_avg,
+        n_short=80,
+        n_large=5,
+    )
+
+
+def micro_run(scheme, standing, floor=None, drops=0, timeouts=0):
+    return MicroscopicRun(
+        scheme=scheme,
+        samples=([], []),
+        standing_queue_pkts=standing,
+        floor_queue_pkts=floor if floor is not None else standing,
+        peak_queue_pkts=int(standing * 2),
+        drops=drops,
+        marks=100,
+        query_timeouts=timeouts,
+    )
+
+
+def by_name(verdicts):
+    return {v.name: v for v in verdicts}
+
+
+class TestFig6:
+    def make(self, ecn_short=0.8, ecn_large=10.5):
+        return FctVsLoadResult(
+            workload_name="web-search",
+            loads=(0.5, 0.8),
+            schemes=("DCTCP-RED-Tail", "ECN#"),
+            summaries={
+                0.5: {
+                    "DCTCP-RED-Tail": summary(),
+                    "ECN#": summary(short_avg=ecn_short, large_avg=ecn_large),
+                },
+                0.8: {
+                    "DCTCP-RED-Tail": summary(),
+                    "ECN#": summary(short_avg=ecn_short, large_avg=ecn_large),
+                },
+            },
+        )
+
+    def test_healthy_result_passes(self):
+        verdicts = by_name(evaluate_figure("fig6", self.make()))
+        assert verdicts["fig6.short_avg_improvement"].status == PASS
+        assert verdicts["fig6.large_flow_parity"].status == PASS
+
+    def test_no_gain_fails_named_invariant(self):
+        verdicts = by_name(evaluate_figure("fig6", self.make(ecn_short=1.05)))
+        bad = verdicts["fig6.short_avg_improvement"]
+        assert bad.status == FAIL
+        assert bad.value is not None and bad.value < 0.02
+        assert "short-flow" in bad.detail
+
+    def test_large_flow_regression_fails(self):
+        verdicts = by_name(evaluate_figure("fig6", self.make(ecn_large=15.0)))
+        assert verdicts["fig6.large_flow_parity"].status == FAIL
+
+    def test_none_result_skips_everything(self):
+        verdicts = evaluate_figure("fig6", None)
+        assert len(verdicts) == len(REGISTRY["fig6"])
+        assert all(v.status == SKIP for v in verdicts)
+
+
+class TestFig8:
+    def make(self, gain_low=0.05, gain_high=0.15, overall=1.0):
+        def cell(gain):
+            return {
+                "DCTCP-RED-Tail": summary(),
+                "ECN#": summary(
+                    short_avg=(1 - gain), overall_avg=2.0 * overall
+                ),
+            }
+
+        return Fig8Result(
+            variations=(3.0, 5.0),
+            loads=(0.8,),
+            summaries={3.0: {0.8: cell(gain_low)}, 5.0: {0.8: cell(gain_high)}},
+        )
+
+    def test_growing_gain_passes(self):
+        verdicts = by_name(evaluate_figure("fig8", self.make()))
+        assert verdicts["fig8.gain_grows_with_variation"].status == PASS
+        assert verdicts["fig8.overall_parity"].status == PASS
+
+    def test_collapsing_gain_fails(self):
+        result = self.make(gain_low=0.20, gain_high=0.01)
+        verdicts = by_name(evaluate_figure("fig8", result))
+        assert verdicts["fig8.gain_grows_with_variation"].status == FAIL
+
+    def test_overall_regression_fails(self):
+        verdicts = by_name(evaluate_figure("fig8", self.make(overall=1.5)))
+        assert verdicts["fig8.overall_parity"].status == FAIL
+
+
+class TestFig10:
+    def make(self, sharp_standing=20.0, sharp_floor=15.0, red_standing=170.0):
+        return Fig10Result(
+            runs={
+                "DCTCP-RED-Tail": micro_run("DCTCP-RED-Tail", red_standing),
+                "ECN#": micro_run("ECN#", sharp_standing, floor=sharp_floor),
+            },
+            fanout=100,
+            burst_time=ms(20),
+        )
+
+    def test_collapse_passes(self):
+        verdicts = by_name(evaluate_figure("fig10", self.make()))
+        assert verdicts["fig10.persistent_queue_collapse"].status == PASS
+        assert verdicts["fig10.ecn_sharp_floor"].status == PASS
+        assert verdicts["fig10.red_tail_standing_queue"].status == PASS
+
+    def test_no_collapse_fails_with_ratio(self):
+        verdicts = by_name(
+            evaluate_figure("fig10", self.make(sharp_standing=160.0))
+        )
+        bad = verdicts["fig10.persistent_queue_collapse"]
+        assert bad.status == FAIL
+        assert bad.value > 0.4
+        assert "ratio" in bad.detail
+
+    def test_high_floor_fails(self):
+        verdicts = by_name(
+            evaluate_figure("fig10", self.make(sharp_floor=90.0))
+        )
+        assert verdicts["fig10.ecn_sharp_floor"].status == FAIL
+
+    def test_missing_scheme_skips(self):
+        result = Fig10Result(
+            runs={"ECN#": micro_run("ECN#", 20.0)},
+            fanout=100,
+            burst_time=ms(20),
+        )
+        verdicts = by_name(evaluate_figure("fig10", result))
+        assert verdicts["fig10.persistent_queue_collapse"].status == SKIP
+        assert verdicts["fig10.red_tail_standing_queue"].status == SKIP
+        assert verdicts["fig10.ecn_sharp_floor"].status == PASS
+
+
+class TestFig11:
+    def make(self, codel_onset=150, sharp_onset=None):
+        fanouts = (100, 150, 175)
+        schemes = ("DCTCP-RED-Tail", "CoDel", "ECN#")
+
+        def run_for(scheme, fanout):
+            onset = codel_onset if scheme == "CoDel" else sharp_onset
+            collapsed = onset is not None and fanout >= onset
+            return micro_run(
+                scheme, 50.0, timeouts=5 if collapsed else 0
+            )
+
+        return Fig11Result(
+            fanouts=fanouts,
+            schemes=schemes,
+            runs={
+                fanout: {s: run_for(s, fanout) for s in schemes}
+                for fanout in fanouts
+            },
+        )
+
+    def test_codel_collapses_ecn_sharp_survives(self):
+        verdicts = by_name(evaluate_figure("fig11", self.make()))
+        assert verdicts["fig11.codel_collapse_in_sweep"].status == PASS
+        assert verdicts["fig11.ecn_sharp_outlasts_codel"].status == PASS
+
+    def test_codel_never_collapsing_fails(self):
+        verdicts = by_name(
+            evaluate_figure("fig11", self.make(codel_onset=None))
+        )
+        assert verdicts["fig11.codel_collapse_in_sweep"].status == FAIL
+        # With no CoDel onset the ordering claim is unanswerable.
+        assert verdicts["fig11.ecn_sharp_outlasts_codel"].status == SKIP
+
+    def test_ecn_sharp_collapsing_first_fails(self):
+        verdicts = by_name(
+            evaluate_figure(
+                "fig11", self.make(codel_onset=175, sharp_onset=100)
+            )
+        )
+        assert verdicts["fig11.ecn_sharp_outlasts_codel"].status == FAIL
+
+
+class TestFig12:
+    def make(self, spread=0.05):
+        base = 1.0
+        values = {100.0: base, 250.0: base * (1 + spread)}
+        targets = {6.0: base, 18.0: base * (1 + spread)}
+        return Fig12Result(
+            intervals_us=(100.0, 250.0),
+            targets_us=(6.0, 18.0),
+            interval_fct={"web-search": dict(values)},
+            target_fct={"web-search": dict(targets)},
+        )
+
+    def test_small_spread_passes(self):
+        verdicts = by_name(evaluate_figure("fig12", self.make()))
+        assert verdicts["fig12.sensitivity_spread"].status == PASS
+
+    def test_large_spread_fails(self):
+        verdicts = by_name(evaluate_figure("fig12", self.make(spread=0.5)))
+        bad = verdicts["fig12.sensitivity_spread"]
+        assert bad.status == FAIL
+        assert bad.value > 0.20
+
+
+class TestRegistryShape:
+    def test_every_validated_figure_has_invariants(self):
+        for figure in ("fig6", "fig7", "fig8", "fig10", "fig11", "fig12"):
+            assert REGISTRY[figure], figure
+
+    def test_names_carry_figure_prefix(self):
+        for figure, invariants in REGISTRY.items():
+            for invariant in invariants:
+                assert invariant.name.startswith(f"{figure}.")
+                assert invariant.figure == figure
+
+    def test_unknown_figure_evaluates_empty(self):
+        assert evaluate_figure("fig99", object()) == []

@@ -1,0 +1,165 @@
+"""Tests for the validation statistics layer (no scipy available)."""
+
+import math
+
+import pytest
+
+from repro.validation.stats import (
+    COUNT_BAND,
+    DEFAULT_BAND,
+    FAIL,
+    PASS,
+    SKIP,
+    WARN,
+    ToleranceBand,
+    bootstrap_ci,
+    compare_samples,
+    mann_whitney_u,
+    student_t_two_sided_p,
+    welch_t_test,
+)
+
+
+class TestBootstrapCi:
+    def test_deterministic_for_fixed_seed(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_ci(samples, seed=7)
+        b = bootstrap_ci(samples, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_contains_true_mean(self):
+        samples = list(range(1, 30))
+        ci = bootstrap_ci([float(s) for s in samples], seed=0)
+        assert ci.low <= 15.0 <= ci.high
+        assert ci.contains(15.0)
+
+    def test_single_sample_degenerate(self):
+        ci = bootstrap_ci([4.2])
+        assert ci.low == ci.high == 4.2
+        assert ci.n_resamples == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestStudentT:
+    def test_reference_value(self):
+        # scipy.stats.t.sf(2.0, 10) * 2 == 0.07338803..
+        assert student_t_two_sided_p(2.0, 10) == pytest.approx(
+            0.0733880, abs=1e-3
+        )
+
+    def test_zero_statistic_is_one(self):
+        assert student_t_two_sided_p(0.0, 5) == pytest.approx(1.0)
+
+    def test_large_statistic_tiny_p(self):
+        assert student_t_two_sided_p(50.0, 30) < 1e-10
+
+    def test_symmetry(self):
+        assert student_t_two_sided_p(-2.5, 8) == pytest.approx(
+            student_t_two_sided_p(2.5, 8)
+        )
+
+
+class TestWelch:
+    def test_identical_samples_p_one(self):
+        result = welch_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result is not None
+        assert result.p_value == pytest.approx(1.0, abs=1e-9)
+
+    def test_clearly_different_rejects(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [5.0, 5.1, 4.9, 5.05, 4.95]
+        result = welch_t_test(a, b)
+        assert result.p_value < 0.001
+
+    def test_insufficient_samples_none(self):
+        assert welch_t_test([1.0], [1.0, 2.0]) is None
+
+    def test_zero_variance_equal_means(self):
+        result = welch_t_test([2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+
+    def test_zero_variance_distinct_means(self):
+        result = welch_t_test([2.0, 2.0], [3.0, 3.0])
+        assert result.p_value == 0.0
+
+
+class TestMannWhitney:
+    def test_clearly_shifted_rejects(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        b = [11.0, 12.0, 13.0, 14.0, 15.0, 16.0]
+        result = mann_whitney_u(a, b)
+        assert result.p_value < 0.01
+
+    def test_identical_distributions_high_p(self):
+        a = [1.0, 3.0, 5.0, 7.0]
+        b = [2.0, 4.0, 6.0, 8.0]
+        result = mann_whitney_u(a, b)
+        assert result.p_value > 0.3
+
+    def test_all_tied_p_one(self):
+        result = mann_whitney_u([2.0, 2.0], [2.0, 2.0])
+        assert result.p_value == 1.0
+
+    def test_p_in_unit_interval(self):
+        result = mann_whitney_u([1.0, 2.0], [1.5, 2.5])
+        assert 0.0 <= result.p_value <= 1.0
+        assert math.isfinite(result.statistic)
+
+
+class TestCompareSamples:
+    def test_equal_samples_pass(self):
+        c = compare_samples("fig6", "cell", "m", [1.0, 1.01], [1.0, 1.01])
+        assert c.status == PASS
+
+    def test_small_drift_passes_within_band(self):
+        c = compare_samples("fig6", "cell", "m", [1.02, 1.03], [1.0, 1.01])
+        assert c.status == PASS
+
+    def test_moderate_drift_warns(self):
+        c = compare_samples("fig6", "cell", "m", [1.10, 1.11], [1.0, 1.01])
+        assert c.status == WARN
+
+    def test_large_separated_shift_fails(self):
+        c = compare_samples("fig6", "cell", "m", [2.0, 2.01], [1.0, 1.01])
+        assert c.status == FAIL
+        assert c.rel_err > DEFAULT_BAND.rel_fail
+
+    def test_large_shift_overlapping_ranges_demotes_to_warn(self):
+        # Big relative error but overlapping, statistically indistinct
+        # samples: downgraded to WARN rather than FAIL.
+        current = [0.5, 3.5]
+        baseline = [1.0, 2.2]
+        c = compare_samples("fig6", "cell", "m", current, baseline)
+        assert c.status == WARN
+
+    def test_single_sample_big_shift_fails(self):
+        # n=1 cells (fig10/fig11) have no statistical escape hatch.
+        c = compare_samples("fig10", "cell", "m", [200.0], [100.0])
+        assert c.status == FAIL
+
+    def test_missing_sides_skip(self):
+        assert compare_samples("f", "c", "m", [], [1.0]).status == SKIP
+        assert compare_samples("f", "c", "m", [1.0], []).status == SKIP
+
+    def test_zero_baseline_exact_match_passes(self):
+        c = compare_samples("f", "c", "drops", [0.0], [0.0], band=COUNT_BAND)
+        assert c.status == PASS
+
+    def test_count_band_abs_warn_tolerates_small_counts(self):
+        c = compare_samples("f", "c", "drops", [1.0], [0.0], band=COUNT_BAND)
+        assert c.status == PASS  # abs_warn=2.0 soaks tiny count jitter
+
+    def test_to_dict_round_trip_fields(self):
+        c = compare_samples("fig6", "cell", "m", [1.0, 1.1], [1.0, 1.1])
+        payload = c.to_dict()
+        assert payload["figure"] == "fig6"
+        assert payload["status"] == PASS
+        assert "baseline_ci" in payload
+
+    def test_custom_band(self):
+        band = ToleranceBand(rel_warn=0.5, rel_fail=0.9)
+        c = compare_samples("f", "c", "m", [1.4], [1.0], band=band)
+        assert c.status == PASS

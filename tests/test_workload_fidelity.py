@@ -1,0 +1,60 @@
+"""Workload fidelity: sampled flow-size statistics must match the
+analytic CDF statistics within a (seeded, deterministic) bootstrap CI."""
+
+import numpy as np
+import pytest
+
+from repro.validation.stats import bootstrap_ci
+from repro.workloads.datamining import DATA_MINING
+from repro.workloads.websearch import WEB_SEARCH
+
+WORKLOADS = [WEB_SEARCH, DATA_MINING]
+N_SAMPLES = 4000
+
+
+def draw(workload, seed=2024):
+    rng = np.random.default_rng(seed)
+    return workload.sample(rng, size=N_SAMPLES).astype(float).tolist()
+
+
+class TestSampledMean:
+    @pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+    def test_analytic_mean_inside_bootstrap_ci(self, workload):
+        samples = draw(workload)
+        ci = bootstrap_ci(samples, confidence=0.99, seed=5)
+        analytic = workload.mean()
+        assert ci.contains(analytic), (
+            f"{workload.name}: analytic mean {analytic:.0f} outside "
+            f"bootstrap CI [{ci.low:.0f}, {ci.high:.0f}]"
+        )
+
+    @pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+    def test_deterministic_for_fixed_seed(self, workload):
+        assert draw(workload) == draw(workload)
+
+
+class TestSampledMedian:
+    @pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+    def test_analytic_median_inside_bootstrap_ci(self, workload):
+        samples = draw(workload)
+        ci = bootstrap_ci(
+            samples,
+            confidence=0.99,
+            seed=5,
+            statistic=lambda values: float(np.median(values)),
+        )
+        analytic = workload.quantile(0.5)
+        assert ci.low <= analytic <= ci.high, (
+            f"{workload.name}: analytic median {analytic:.0f} outside "
+            f"bootstrap CI [{ci.low:.0f}, {ci.high:.0f}]"
+        )
+
+
+class TestDistributionShape:
+    def test_web_search_median_is_paper_value(self):
+        assert WEB_SEARCH.quantile(0.5) == pytest.approx(15_000, rel=0.3)
+
+    def test_data_mining_more_skewed_than_web_search(self):
+        # Data mining: most flows tiny, mean dominated by elephants.
+        assert DATA_MINING.quantile(0.5) < WEB_SEARCH.quantile(0.5)
+        assert DATA_MINING.mean() > WEB_SEARCH.mean()
