@@ -9,8 +9,13 @@ Usage::
     python -m repro run fig11 --seed 7
     python -m repro run fig10 --trace --trace-out t.jsonl --metrics-out m.json
     python -m repro run fig5 --results-out fig5.json
+    python -m repro run fig6 --dry-run
     python -m repro validate capture --scale tiny
     python -m repro validate run --scale tiny --report-out report.json
+    python -m repro scenario list scenarios/
+    python -m repro scenario check scenarios/
+    python -m repro scenario run scenarios/fig6_websearch.toml --store campaign.jsonl
+    python -m repro scenario report --store campaign.jsonl
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
 experiments accept a ``--seed`` for reproducibility.  ``--jobs N`` (or
@@ -36,6 +41,14 @@ figure.  Failed cells are retried (``--retries``/``REPRO_RETRIES``, default
 recorded; the figure renders the surviving cells with gaps, a failure
 summary table is printed, and the exit code is non-zero only when *no*
 cell produced a usable result.
+
+``scenario`` runs declarative scenario files (see the README's "Scenarios"
+section): ``list``/``check`` inspect and validate them without simulating,
+``run`` executes one file or a directory as a resumable campaign appending
+each finished cell to a crash-safe JSONL store (rerunning skips completed
+cells), and ``report`` renders per-scenario tables straight from the store.
+``--dry-run`` (on ``run`` and ``scenario run``) prints the resolved spec
+grid with per-cell cache status and exits without simulating.
 
 ``validate capture`` snapshots the reduced-scale validation grid into a
 checked-in golden baseline; ``validate run`` replays the same grid (pure
@@ -298,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-scale parameters (slow; equivalent to REPRO_FULL=1)",
     )
     run.add_argument("--seed", type=int, default=None, help="override the seed")
+    run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved spec grid with per-cell cache status and "
+        "exit without simulating",
+    )
     _add_executor_args(run)
     run.add_argument(
         "--trace",
@@ -391,6 +410,75 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full validation report as JSON",
     )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenarios: list/check/run/report scenario files",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    s_list = scenario_sub.add_parser(
+        "list", help="list scenario files with their compiled cell counts"
+    )
+    s_list.add_argument(
+        "path", nargs="?", default="scenarios", metavar="PATH",
+        help="scenario file or directory (default: scenarios/)",
+    )
+
+    s_check = scenario_sub.add_parser(
+        "check",
+        help="validate and deep-check scenario files (no simulation)",
+    )
+    s_check.add_argument(
+        "path", nargs="?", default="scenarios", metavar="PATH",
+        help="scenario file or directory (default: scenarios/)",
+    )
+
+    s_run = scenario_sub.add_parser(
+        "run", help="run scenario file(s) as a resumable campaign"
+    )
+    s_run.add_argument(
+        "path", metavar="PATH", help="scenario file or directory"
+    )
+    s_run.add_argument(
+        "--store",
+        metavar="PATH",
+        default="campaign.jsonl",
+        help="campaign result store, JSONL, appended to on every pass "
+        "(default: campaign.jsonl)",
+    )
+    s_run.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N pending cells this pass (the rest resume "
+        "on the next run)",
+    )
+    s_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the compiled cell/spec grid with per-spec cache status "
+        "and exit without simulating",
+    )
+    _add_executor_args(s_run)
+
+    s_report = scenario_sub.add_parser(
+        "report",
+        help="render per-scenario result tables from the campaign store "
+        "(no simulation)",
+    )
+    s_report.add_argument(
+        "path", nargs="?", default=None, metavar="PATH",
+        help="restrict the report to these scenario files (file or "
+        "directory; default: everything in the store)",
+    )
+    s_report.add_argument(
+        "--store",
+        metavar="PATH",
+        default="campaign.jsonl",
+        help="campaign result store to read (default: campaign.jsonl)",
+    )
     return parser
 
 
@@ -415,10 +503,24 @@ def _write_results(path: str, summary: dict) -> None:
     print(f"# results written to {path}")
 
 
+def _dry_run_table(specs, is_cached) -> Tuple[str, int]:
+    """Render the resolved grid with cache status; returns (table, hits)."""
+    from .experiments.report import format_table
+
+    rows = [
+        [spec.token(), "hit" if is_cached(spec) else "miss"] for spec in specs
+    ]
+    hits = sum(1 for row in rows if row[1] == "hit")
+    return format_table(["spec", "cache"], rows), hits
+
+
 def _main_run(args, parser: argparse.ArgumentParser) -> int:
     description, runner = EXPERIMENTS[args.experiment]
     scale = Scale.paper() if args.full else Scale.from_env()
     seed = args.seed if args.seed is not None else _DEFAULT_SEEDS[args.experiment]
+
+    if args.dry_run:
+        return _dry_run_experiment(args, runner, scale, seed)
 
     executor = _build_executor(args, parser)
 
@@ -508,6 +610,165 @@ def _main_run(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _dry_run_experiment(args, runner, scale: Scale, seed: int) -> int:
+    """``run --dry-run``: capture the experiment's resolved spec grid via a
+    :class:`DryRunExecutor` and print it with cache status -- no simulation
+    (experiments that build no executor grid, e.g. fig5, simply report so).
+    """
+    from .experiments.executor import DryRunComplete, DryRunExecutor
+
+    dry = DryRunExecutor(
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir or default_cache_dir(),
+    )
+    previous_executor = set_default_executor(dry)
+    captured = False
+    try:
+        try:
+            runner(scale, seed)
+        except DryRunComplete:
+            captured = True
+    finally:
+        set_default_executor(previous_executor)
+    if not captured and not dry.captured:
+        print(f"# dry run: {args.experiment} builds no executor spec grid")
+        return 0
+    table, hits = _dry_run_table(dry.captured, dry.is_cached)
+    print(f"# dry run: resolved spec grid for {args.experiment} (seed={seed})")
+    print(table)
+    print(
+        f"# {len(dry.captured)} spec(s): {hits} cached, "
+        f"{len(dry.captured) - hits} to execute; nothing simulated"
+    )
+    return 0
+
+
+def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
+    from .scenarios import (
+        ScenarioError,
+        check_scenario,
+        compile_scenario,
+        load_scenario,
+        load_scenario_dir,
+        render_store_report,
+        run_campaign,
+    )
+
+    def load_pairs(path: str):
+        if os.path.isdir(path):
+            return load_scenario_dir(path)
+        return [(path, load_scenario(path))]
+
+    if args.scenario_command == "report":
+        scenarios = None
+        if args.path is not None:
+            try:
+                scenarios = [s for _, s in load_pairs(args.path)]
+            except (ScenarioError, FileNotFoundError) as exc:
+                print(f"# error: {exc}", file=sys.stderr)
+                return 2
+        print(render_store_report(args.store, scenarios))
+        return 0
+
+    if args.scenario_command in ("list", "check"):
+        deep = args.scenario_command == "check"
+        status = 0
+        try:
+            pairs = load_pairs(args.path)
+        except (ScenarioError, FileNotFoundError) as exc:
+            print(f"# error: {exc}", file=sys.stderr)
+            return 2
+        for path, scenario in pairs:
+            try:
+                compiled = (
+                    check_scenario(scenario) if deep
+                    else compile_scenario(scenario)
+                )
+            except ScenarioError as exc:
+                print(f"# error: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            line = (
+                f"{os.path.basename(str(path))}  {scenario.name}  "
+                f"cells={len(compiled.cells)} specs={compiled.n_specs}"
+            )
+            if deep:
+                line += "  ok"
+            elif scenario.description:
+                line += f"  {scenario.description}"
+            print(line)
+        return status
+
+    # scenario run
+    if args.max_cells is not None and args.max_cells < 1:
+        parser.error("--max-cells must be >= 1")
+    try:
+        pairs = load_pairs(args.path)
+        scenarios = [s for _, s in pairs]
+        compiled = [compile_scenario(s) for s in scenarios]
+    except (ScenarioError, FileNotFoundError) as exc:
+        print(f"# error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        from .experiments.executor import ResultCache
+
+        cache = (
+            None if args.no_cache
+            else ResultCache(args.cache_dir or default_cache_dir())
+        )
+
+        def is_cached(spec) -> bool:
+            return cache is not None and cache.path(spec).exists()
+
+        total = 0
+        hits = 0
+        for comp in compiled:
+            specs = comp.specs()
+            table, comp_hits = _dry_run_table(specs, is_cached)
+            print(
+                f"# dry run: scenario {comp.scenario.name} "
+                f"({len(comp.cells)} cells, {len(specs)} specs)"
+            )
+            print(table)
+            total += len(specs)
+            hits += comp_hits
+        print(
+            f"# {total} spec(s): {hits} cached, {total - hits} to execute; "
+            "nothing simulated"
+        )
+        return 0
+
+    executor = _build_executor(args, parser)
+    telemetry = Telemetry()
+    started = time.time()
+    previous_executor = set_default_executor(executor)
+    try:
+        with activate(telemetry):
+            result = run_campaign(
+                scenarios,
+                store=args.store,
+                executor=executor,
+                max_cells=args.max_cells,
+            )
+    finally:
+        set_default_executor(previous_executor)
+    wall = time.time() - started
+    print(f"# campaign: {result.summary_line()} ({wall:.1f}s)")
+    print(
+        f"# executor: jobs={executor.jobs} {executor.stats.merge_line()} "
+        f"cache={'off' if executor.cache is None else executor.cache.directory}"
+    )
+    print(f"# store: {args.store} ({len(result.records)} record(s) this pass)")
+    if executor.failures:
+        print(format_failure_table(executor.failures))
+    settled = result.executed_cells + result.skipped_cells
+    if settled and result.failed_cells >= settled:
+        print("# error: every cell failed; no usable results", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _main_validate(args, parser: argparse.ArgumentParser) -> int:
     from .validation import (
         DirtyTreeError,
@@ -586,6 +847,8 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "validate":
         return _main_validate(args, parser)
+    if args.command == "scenario":
+        return _main_scenario(args, parser)
     return _main_run(args, parser)
 
 

@@ -52,6 +52,8 @@ from .specs import RunSpec, resolve_workload, stable_hash
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DryRunComplete",
+    "DryRunExecutor",
     "ExecutorStats",
     "Executor",
     "ResultCache",
@@ -607,6 +609,42 @@ def _env_float(name: str, default: Optional[float]) -> Optional[float]:
             stacklevel=3,
         )
         return default
+
+
+# ---------------------------------------------------------------- dry run
+
+
+class DryRunComplete(RuntimeError):
+    """Raised by :class:`DryRunExecutor` the moment a grid is submitted --
+    the experiment's spec construction has finished, nothing simulates."""
+
+
+class DryRunExecutor(Executor):
+    """An executor that captures the submitted spec grid instead of
+    running it.
+
+    Install it as the default executor (or pass it explicitly), call the
+    experiment's run function, and catch :class:`DryRunComplete`: the full
+    resolved grid is then on ``captured``, in submission order.  This backs
+    the CLI's ``--dry-run`` and lets tests assert cell-for-cell grid
+    equivalence (e.g. scenario files vs figure modules) without simulating.
+    """
+
+    def __init__(
+        self, cache: bool = False, cache_dir: Optional[Path] = None
+    ) -> None:
+        super().__init__(jobs=1, cache=cache, cache_dir=cache_dir)
+        self.captured: List[RunSpec] = []
+
+    def run(self, specs: Sequence[RunSpec]) -> List[Any]:
+        self.captured.extend(specs)
+        raise DryRunComplete(
+            f"dry run: captured {len(self.captured)} spec(s), nothing executed"
+        )
+
+    def is_cached(self, spec: RunSpec) -> bool:
+        """Cheap cache-presence probe (existence, not a full unpickle)."""
+        return self.cache is not None and self.cache.path(spec).exists()
 
 
 # ------------------------------------------------------- process default

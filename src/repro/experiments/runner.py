@@ -461,9 +461,15 @@ def run_leafspine_fct(
     buffer_bytes: int = mb(1),
     transport: TransportConfig = TransportConfig(),
     rtt_shape: str = "fabric",
+    oversubscription: float = 1.0,
 ) -> ExperimentResult:
     """One large-scale run: any-to-any Poisson traffic over a leaf-spine
-    fabric with ECMP (Section 5.3's setup, possibly reduced dims)."""
+    fabric with ECMP (Section 5.3's setup, possibly reduced dims).
+
+    ``oversubscription`` derates the leaf-spine uplinks (see
+    :func:`~repro.topology.leafspine.build_leafspine`); 1.0 is the paper's
+    non-blocking fabric.
+    """
     spines, leaves, hosts_per_leaf = dims
     wall_start = perf_counter()
     topo = build_leafspine(
@@ -473,6 +479,7 @@ def run_leafspine_fct(
         link_rate_bps=link_rate_bps,
         buffer_bytes=buffer_bytes,
         aqm_factory=aqm_factory,
+        oversubscription=oversubscription,
     )
     manifest = RunManifest.collect(
         "run_leafspine_fct",
@@ -486,6 +493,7 @@ def run_leafspine_fct(
         link_rate_bps=link_rate_bps,
         buffer_bytes=buffer_bytes,
         rtt_shape=rtt_shape,
+        oversubscription=oversubscription,
     )
     rng = np.random.default_rng(seed)
     factory = PacketFactory()

@@ -1,0 +1,321 @@
+"""Campaign orchestration: run a directory of scenarios as one resumable job.
+
+A *campaign* executes every cell of every compiled scenario through the
+shared :class:`~repro.experiments.executor.Executor` and appends each
+finished cell to a crash-safe JSONL store.  Records are keyed by
+``(scenario content-hash, the cell's RunSpec tokens)``: the content hash
+pins the scenario semantics (any edit changes it) and the tokens embed each
+spec's hash (any parameter change changes them), so stale records can never
+be replayed for changed work.
+
+Resume semantics: a rerun loads the store first and only executes cells
+with no ``"ok"`` record -- gaps (never ran, e.g. the process was killed)
+and failures (every failed cell re-executes until it succeeds).  Because
+cell summaries contain no timestamps and records are appended in the
+deterministic scenario-order x cell-order, an interrupted-then-resumed
+campaign's store is byte-identical to an uninterrupted one.
+
+Crash safety: the store is append-only, one JSON object per line, flushed
+and fsynced per shard; a torn trailing line (the process died mid-write) is
+skipped with a warning on load and its cell simply re-executes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.executor import Executor, get_default_executor
+from ..telemetry.provenance import git_sha
+from ..telemetry.runtime import get_active
+from .compile import CompiledScenario, ScenarioCell, compile_scenario, summarize_cell
+from .schema import Scenario
+
+__all__ = [
+    "CellRecord",
+    "CampaignStore",
+    "CampaignResult",
+    "run_campaign",
+    "render_store_report",
+    "DEFAULT_STORE",
+]
+
+DEFAULT_STORE = "campaign.jsonl"
+
+RecordKey = Tuple[str, Tuple[str, ...]]  # (scenario content hash, spec tokens)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One settled campaign cell (one JSONL line)."""
+
+    scenario: str
+    scenario_hash: str
+    cell_key: str
+    component: str
+    tokens: Tuple[str, ...]
+    status: str  # "ok" | "failed"
+    metrics: Dict[str, float]
+    failures: Tuple[Dict[str, str], ...]
+    git_sha: Optional[str]
+    version: str
+
+    @property
+    def key(self) -> RecordKey:
+        return (self.scenario_hash, self.tokens)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "scenario_hash": self.scenario_hash,
+            "cell_key": self.cell_key,
+            "component": self.component,
+            "tokens": list(self.tokens),
+            "status": self.status,
+            "metrics": self.metrics,
+            "failures": list(self.failures),
+            "git_sha": self.git_sha,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellRecord":
+        return cls(
+            scenario=data["scenario"],
+            scenario_hash=data["scenario_hash"],
+            cell_key=data["cell_key"],
+            component=data.get("component", ""),
+            tokens=tuple(data["tokens"]),
+            status=data["status"],
+            metrics=data.get("metrics", {}),
+            failures=tuple(data.get("failures", [])),
+            git_sha=data.get("git_sha"),
+            version=data.get("version", ""),
+        )
+
+
+class CampaignStore:
+    """Append-only JSONL store of :class:`CellRecord` lines."""
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[RecordKey, CellRecord]:
+        """Record index, latest record per key winning.  Unparseable lines
+        (torn trailing write from a crash) are skipped with a warning."""
+        index: Dict[RecordKey, CellRecord] = {}
+        if not self.path.exists():
+            return index
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = CellRecord.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    warnings.warn(
+                        f"{self.path}:{line_no}: skipping unreadable record "
+                        "(torn write from an interrupted campaign?)",
+                        stacklevel=2,
+                    )
+                    continue
+                index[record.key] = record
+        return index
+
+    def append(self, records: Sequence[CellRecord]) -> None:
+        """Append one shard's records, fsynced so a crash after return
+        cannot lose them (a crash *during* leaves at most one torn line)."""
+        if not records:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A crash mid-write can leave a torn line with no trailing newline;
+        # terminate it first so the next record does not glue onto it and
+        # become unreadable too.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                needs_newline = probe.read(1) != b"\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            for record in records:
+                handle.write(
+                    json.dumps(record.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+                )
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+@dataclass
+class CampaignResult:
+    """Accounting for one campaign pass."""
+
+    compiled: List[CompiledScenario]
+    records: List[CellRecord] = field(default_factory=list)
+    executed_cells: int = 0
+    skipped_cells: int = 0
+    failed_cells: int = 0
+
+    @property
+    def total_cells(self) -> int:
+        return sum(len(c.cells) for c in self.compiled)
+
+    def summary_line(self) -> str:
+        return (
+            f"cells={self.total_cells} executed={self.executed_cells} "
+            f"skipped={self.skipped_cells} failed={self.failed_cells}"
+        )
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _settle(
+    compiled: CompiledScenario,
+    cell: ScenarioCell,
+    runs: Sequence[Any],
+    provenance: Tuple[Optional[str], str],
+) -> CellRecord:
+    summary = summarize_cell(cell, runs)
+    sha, version = provenance
+    return CellRecord(
+        scenario=compiled.scenario.name,
+        scenario_hash=compiled.scenario.content_hash(),
+        cell_key=cell.key,
+        component=cell.component,
+        tokens=tuple(cell.tokens()),
+        status=summary["status"],
+        metrics=summary["metrics"],
+        failures=tuple(summary["failures"]),
+        git_sha=sha,
+        version=version,
+    )
+
+
+def _notify(scenario_name: str, cell_key: str, status: str) -> None:
+    telemetry = get_active()
+    if telemetry is not None:
+        telemetry.on_campaign_cell(scenario_name, cell_key, status)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    store: "CampaignStore | Path | str" = DEFAULT_STORE,
+    executor: Optional[Executor] = None,
+    max_cells: Optional[int] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign over ``scenarios``.
+
+    Cells already settled ``"ok"`` in the store are skipped; gaps and failed
+    cells execute, sharded across the executor's pool, and each finished
+    shard is appended to the store before the next begins -- killing the
+    process between shards loses nothing.  ``max_cells`` bounds how many
+    pending cells this pass executes (the deterministic "kill after N
+    cells" used by the resume tests); the next run picks up the rest.
+    """
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    executor = executor or get_default_executor()
+    compiled = [compile_scenario(scenario) for scenario in scenarios]
+    index = store.load()
+    provenance = (git_sha(), _package_version())
+    result = CampaignResult(compiled=compiled)
+
+    pending: List[Tuple[CompiledScenario, ScenarioCell]] = []
+    for comp in compiled:
+        scenario_hash = comp.scenario.content_hash()
+        for cell in comp.cells:
+            record = index.get((scenario_hash, tuple(cell.tokens())))
+            if record is not None and record.status == "ok":
+                result.records.append(record)
+                result.skipped_cells += 1
+                _notify(comp.scenario.name, cell.key, "skipped")
+            else:
+                pending.append((comp, cell))
+    if max_cells is not None:
+        pending = pending[:max_cells]
+
+    # One executor pass per shard: big enough to keep the pool saturated,
+    # small enough that a kill between shards forfeits little work.
+    shard_size = max(1, executor.jobs) * 4
+    for start in range(0, len(pending), shard_size):
+        shard = pending[start:start + shard_size]
+        flat = [spec for _, cell in shard for spec in cell.specs]
+        outcomes = executor.run(flat)
+        shard_records: List[CellRecord] = []
+        cursor = 0
+        for comp, cell in shard:
+            runs = outcomes[cursor:cursor + len(cell.specs)]
+            cursor += len(cell.specs)
+            record = _settle(comp, cell, runs, provenance)
+            shard_records.append(record)
+            result.records.append(record)
+            result.executed_cells += 1
+            if record.status == "failed":
+                result.failed_cells += 1
+            _notify(comp.scenario.name, cell.key, record.status)
+        store.append(shard_records)
+    return result
+
+
+# ---------------------------------------------------------------- reporting
+
+
+def render_store_report(
+    store: "CampaignStore | Path | str",
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> str:
+    """Render per-scenario cell tables straight from the store -- no
+    simulation, no cache.  With ``scenarios`` given, only their current
+    content-hashes are reported (stale records from edited scenario files
+    are ignored); otherwise everything in the store is shown.
+    """
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    index = store.load()
+    if scenarios is not None:
+        wanted = {s.content_hash() for s in scenarios}
+        records = [r for r in index.values() if r.scenario_hash in wanted]
+    else:
+        records = list(index.values())
+    if not records:
+        return f"# no campaign records in {store.path}"
+
+    from ..experiments.report import format_table
+
+    by_scenario: Dict[str, List[CellRecord]] = {}
+    for record in records:
+        by_scenario.setdefault(record.scenario, []).append(record)
+
+    sections = []
+    for name in sorted(by_scenario):
+        group = sorted(by_scenario[name], key=lambda r: r.cell_key)
+        metric_names = sorted({m for r in group for m in r.metrics})
+        rows = []
+        for record in group:
+            rows.append(
+                [record.cell_key, record.status]
+                + [
+                    f"{record.metrics[m]:.6g}" if m in record.metrics else "-"
+                    for m in metric_names
+                ]
+            )
+        sections.append(
+            format_table(
+                ["cell", "status"] + metric_names,
+                rows,
+                title=f"scenario {name} ({len(group)} cells)",
+            )
+        )
+    return "\n\n".join(sections)

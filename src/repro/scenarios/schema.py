@@ -1,0 +1,750 @@
+"""Declarative scenario descriptions: versioned, typed, TOML/JSON-loadable.
+
+A *scenario* is a complete experiment description -- topology shape,
+RTT-variation profile, workload mix with load points, AQM scheme set,
+transport configuration, seeds -- expressed as data instead of a
+hand-written figure module.  The schema is deliberately a thin, validated
+layer over the vocabulary the rest of the stack already speaks:
+
+* AQM schemes resolve through :data:`repro.experiments.schemes.AQM_BUILDERS`
+  (by preset name or explicit ``kind`` + ``params``);
+* workloads resolve through
+  :func:`repro.experiments.specs.resolve_workload`;
+* transports resolve through :data:`repro.tcp.factory.CC_VARIANTS`;
+* RTT profiles use :class:`repro.netem.profiles.RttProfile` shapes.
+
+Validation is field-level and *actionable*: every error names the offending
+path (``scenario.workloads[1].loads[0]: ...``), the bad value, and what
+would have been accepted.  ``Scenario.to_dict()`` is canonical -- fields
+left at their defaults are omitted -- so ``dict -> Scenario -> dict`` is
+the identity on canonically-written input (which all checked-in scenario
+files are; the round-trip tests enforce it).
+
+The compiled form (a deterministic :class:`~repro.experiments.specs.RunSpec`
+grid) lives in :mod:`repro.scenarios.compile`; campaign execution in
+:mod:`repro.scenarios.campaign`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.specs import AqmSpec, stable_hash
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIO_SUFFIXES",
+    "ScenarioError",
+    "TopologySpec",
+    "RttSpec",
+    "TransportSpec",
+    "SchemeSet",
+    "WorkloadSpec",
+    "Scenario",
+    "load_scenario",
+    "load_scenario_dir",
+]
+
+SCHEMA_VERSION = 1
+"""Bump on incompatible schema changes; files declare the version they
+were written against and mismatches are rejected with an explicit error."""
+
+SCENARIO_SUFFIXES = (".toml", ".json")
+
+SCHEME_PRESETS = ("testbed", "simulation")
+WORKLOAD_KINDS = ("fct", "incast")
+TOPOLOGY_KINDS = ("star", "leafspine")
+
+
+class ScenarioError(ValueError):
+    """A scenario failed validation; ``path`` names the offending field."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+# ------------------------------------------------------------- field access
+
+
+_REQUIRED = object()
+
+
+class _Fields:
+    """One table of a scenario document: typed access with path tracking
+    and unknown-key rejection."""
+
+    def __init__(self, data: Any, path: str) -> None:
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                path, f"expected a table/object, got {type(data).__name__}"
+            )
+        self.data = data
+        self.path = path
+        self._seen: set = set()
+
+    def has(self, key: str) -> bool:
+        return key in self.data
+
+    def take(self, key: str, default: Any = _REQUIRED) -> Any:
+        self._seen.add(key)
+        if key not in self.data:
+            if default is _REQUIRED:
+                raise ScenarioError(f"{self.path}.{key}", "required field is missing")
+            return default
+        return self.data[key]
+
+    def string(self, key: str, default: Any = _REQUIRED,
+               choices: Optional[Tuple[str, ...]] = None) -> Any:
+        value = self.take(key, default)
+        if value is default and default is not _REQUIRED:
+            return value
+        if not isinstance(value, str):
+            raise ScenarioError(
+                f"{self.path}.{key}",
+                f"expected a string, got {type(value).__name__}",
+            )
+        if choices is not None and value not in choices:
+            raise ScenarioError(
+                f"{self.path}.{key}",
+                f"unknown value {value!r} (choose from {sorted(choices)})",
+            )
+        return value
+
+    def integer(self, key: str, default: Any = _REQUIRED,
+                minimum: Optional[int] = None) -> Any:
+        value = self.take(key, default)
+        if value is default and default is not _REQUIRED:
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioError(
+                f"{self.path}.{key}",
+                f"expected an integer, got {value!r} "
+                f"({type(value).__name__})",
+            )
+        if minimum is not None and value < minimum:
+            raise ScenarioError(
+                f"{self.path}.{key}", f"must be >= {minimum} (got {value})"
+            )
+        return value
+
+    def number(self, key: str, default: Any = _REQUIRED,
+               minimum: Optional[float] = None,
+               exclusive_minimum: bool = False) -> Any:
+        value = self.take(key, default)
+        if value is default and default is not _REQUIRED:
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ScenarioError(
+                f"{self.path}.{key}",
+                f"expected a number, got {value!r} ({type(value).__name__})",
+            )
+        value = float(value)
+        if minimum is not None:
+            if exclusive_minimum and value <= minimum:
+                raise ScenarioError(
+                    f"{self.path}.{key}", f"must be > {minimum} (got {value:g})"
+                )
+            if not exclusive_minimum and value < minimum:
+                raise ScenarioError(
+                    f"{self.path}.{key}",
+                    f"must be >= {minimum} (got {value:g})",
+                )
+        return value
+
+    def table(self, key: str) -> Optional["_Fields"]:
+        value = self.take(key, None)
+        if value is None:
+            return None
+        return _Fields(value, f"{self.path}.{key}")
+
+    def array(self, key: str, default: Any = _REQUIRED) -> Any:
+        value = self.take(key, default)
+        if value is default and default is not _REQUIRED:
+            return value
+        if not isinstance(value, list):
+            raise ScenarioError(
+                f"{self.path}.{key}",
+                f"expected an array, got {type(value).__name__}",
+            )
+        return value
+
+    def finish(self) -> None:
+        unknown = sorted(set(self.data) - self._seen)
+        if unknown:
+            raise ScenarioError(
+                f"{self.path}.{unknown[0]}",
+                f"unknown field (known fields: {sorted(self._seen)})",
+            )
+
+
+def _number_array(fields: _Fields, key: str, minimum: float,
+                  exclusive: bool = True) -> Tuple[float, ...]:
+    raw = fields.array(key)
+    if not raw:
+        raise ScenarioError(f"{fields.path}.{key}", "must not be empty")
+    values = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ScenarioError(
+                f"{fields.path}.{key}[{index}]",
+                f"expected a number, got {value!r}",
+            )
+        value = float(value)
+        if (value <= minimum) if exclusive else (value < minimum):
+            op = ">" if exclusive else ">="
+            raise ScenarioError(
+                f"{fields.path}.{key}[{index}]",
+                f"must be {op} {minimum:g} (got {value:g})",
+            )
+        values.append(value)
+    return tuple(values)
+
+
+def _int_array(fields: _Fields, key: str, minimum: int) -> Tuple[int, ...]:
+    raw = fields.array(key)
+    if not raw:
+        raise ScenarioError(f"{fields.path}.{key}", "must not be empty")
+    values = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioError(
+                f"{fields.path}.{key}[{index}]",
+                f"expected an integer, got {value!r}",
+            )
+        if value < minimum:
+            raise ScenarioError(
+                f"{fields.path}.{key}[{index}]",
+                f"must be >= {minimum} (got {value})",
+            )
+        values.append(value)
+    return tuple(values)
+
+
+def _prune(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop ``None`` values (canonical form omits defaulted fields)."""
+    return {k: v for k, v in data.items() if v is not None}
+
+
+# ------------------------------------------------------------------- pieces
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Topology kind and shape.
+
+    ``star`` is the paper's 7-to-1 testbed (``n_senders`` configurable);
+    ``leafspine`` is the Section 5.3 fabric with configurable dimensions
+    and an optional oversubscription ratio (uplinks run at
+    ``link_rate / oversubscription``, see
+    :func:`repro.topology.leafspine.build_leafspine`).
+    """
+
+    kind: str = "star"
+    n_senders: int = 7
+    spines: int = 4
+    leaves: int = 4
+    hosts_per_leaf: int = 4
+    oversubscription: float = 1.0
+
+    @classmethod
+    def from_fields(cls, fields: Optional[_Fields]) -> "TopologySpec":
+        if fields is None:
+            return cls()
+        kind = fields.string("kind", "star", choices=TOPOLOGY_KINDS)
+        if kind == "star":
+            spec = cls(kind=kind, n_senders=fields.integer("n_senders", 7, minimum=1))
+        else:
+            spec = cls(
+                kind=kind,
+                spines=fields.integer("spines", 4, minimum=1),
+                leaves=fields.integer("leaves", 4, minimum=1),
+                hosts_per_leaf=fields.integer("hosts_per_leaf", 4, minimum=1),
+                oversubscription=fields.number("oversubscription", 1.0, minimum=1.0),
+            )
+        fields.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "star":
+            return _prune({
+                "kind": "star",
+                "n_senders": self.n_senders if self.n_senders != 7 else None,
+            })
+        return _prune({
+            "kind": "leafspine",
+            "spines": self.spines if self.spines != 4 else None,
+            "leaves": self.leaves if self.leaves != 4 else None,
+            "hosts_per_leaf": (
+                self.hosts_per_leaf if self.hosts_per_leaf != 4 else None
+            ),
+            "oversubscription": (
+                self.oversubscription if self.oversubscription != 1.0 else None
+            ),
+        })
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        return (self.spines, self.leaves, self.hosts_per_leaf)
+
+
+@dataclass(frozen=True)
+class RttSpec:
+    """A base-RTT variation profile: ``[min_us, min_us * variation]`` with a
+    named mixture shape (see :data:`repro.netem.profiles.CLUSTER_SHAPES`)."""
+
+    min_us: float
+    variation: float
+    shape: str
+
+    @classmethod
+    def from_fields(cls, fields: _Fields,
+                    default: Optional["RttSpec"] = None) -> "RttSpec":
+        from ..netem.profiles import CLUSTER_SHAPES
+
+        shapes = tuple(sorted(CLUSTER_SHAPES))
+        if default is None:
+            spec = cls(
+                min_us=fields.number("min_us", minimum=0.0, exclusive_minimum=True),
+                variation=fields.number("variation", minimum=1.0),
+                shape=fields.string("shape", choices=shapes),
+            )
+        else:  # partial override: absent fields fall back to the default
+            spec = cls(
+                min_us=fields.number(
+                    "min_us", default.min_us, minimum=0.0, exclusive_minimum=True
+                ),
+                variation=fields.number("variation", default.variation, minimum=1.0),
+                shape=fields.string("shape", default.shape, choices=shapes),
+            )
+        fields.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "min_us": self.min_us,
+            "variation": self.variation,
+            "shape": self.shape,
+        }
+
+    @property
+    def rtt_min_seconds(self) -> float:
+        from ..sim.units import us
+
+        return us(self.min_us)
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Transport overrides; ``None`` fields keep
+    :class:`repro.workloads.arrivals.TransportConfig` defaults."""
+
+    cc: Optional[str] = None
+    init_cwnd: Optional[float] = None
+    min_rto_us: Optional[float] = None
+
+    @classmethod
+    def from_fields(cls, fields: Optional[_Fields]) -> "TransportSpec":
+        if fields is None:
+            return cls()
+        from ..tcp.factory import CC_VARIANTS
+
+        spec = cls(
+            cc=fields.string("cc", None, choices=tuple(sorted(CC_VARIANTS))),
+            init_cwnd=fields.number(
+                "init_cwnd", None, minimum=0.0, exclusive_minimum=True
+            ),
+            min_rto_us=fields.number(
+                "min_rto_us", None, minimum=0.0, exclusive_minimum=True
+            ),
+        )
+        fields.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _prune({
+            "cc": self.cc,
+            "init_cwnd": self.init_cwnd,
+            "min_rto_us": self.min_rto_us,
+        })
+
+    def overrides(self) -> Dict[str, Any]:
+        """The non-default fields as ``TransportConfig`` keyword overrides."""
+        from ..sim.units import us
+
+        out: Dict[str, Any] = {}
+        if self.cc is not None:
+            out["cc"] = self.cc
+        if self.init_cwnd is not None:
+            out["init_cwnd"] = self.init_cwnd
+        if self.min_rto_us is not None:
+            out["min_rto"] = us(self.min_rto_us)
+        return out
+
+
+@dataclass(frozen=True)
+class SchemeSet:
+    """The AQM schemes a scenario compares.
+
+    Either a ``preset`` (``"testbed"``/``"simulation"``, the Section 5
+    parameterisations from :mod:`repro.experiments.schemes`, optionally
+    narrowed with ``only``) or explicit ``define`` entries mapping a display
+    name to an ``AQM_BUILDERS`` kind plus constructor params (seconds, the
+    registry's native unit).
+    """
+
+    preset: Optional[str] = None
+    only: Optional[Tuple[str, ...]] = None
+    define: Tuple[Tuple[str, AqmSpec], ...] = ()
+
+    @classmethod
+    def from_value(cls, value: Any, path: str) -> "SchemeSet":
+        if isinstance(value, str):
+            value = {"preset": value}
+        fields = _Fields(value, path)
+        preset = fields.string("preset", None, choices=SCHEME_PRESETS)
+        only_raw = fields.array("only", None)
+        entries_raw = fields.array("define", None)
+        fields.finish()
+        if preset is None and not entries_raw:
+            raise ScenarioError(
+                path, "needs either 'preset' or at least one 'define' entry"
+            )
+        if preset is not None and entries_raw:
+            raise ScenarioError(path, "'preset' and 'define' are mutually exclusive")
+
+        only: Optional[Tuple[str, ...]] = None
+        if only_raw is not None:
+            if preset is None:
+                raise ScenarioError(f"{path}.only", "only valid with 'preset'")
+            available = sorted(_preset_schemes(preset))
+            names = []
+            for index, name in enumerate(only_raw):
+                if not isinstance(name, str):
+                    raise ScenarioError(
+                        f"{path}.only[{index}]", f"expected a string, got {name!r}"
+                    )
+                if name not in available:
+                    raise ScenarioError(
+                        f"{path}.only[{index}]",
+                        f"unknown scheme {name!r} in preset {preset!r} "
+                        f"(available: {available})",
+                    )
+                names.append(name)
+            if not names:
+                raise ScenarioError(f"{path}.only", "must not be empty")
+            only = tuple(names)
+
+        define: List[Tuple[str, AqmSpec]] = []
+        if entries_raw:
+            from ..experiments.schemes import AQM_BUILDERS
+
+            for index, entry in enumerate(entries_raw):
+                entry_fields = _Fields(entry, f"{path}.define[{index}]")
+                name = entry_fields.string("name")
+                kind = entry_fields.string("kind")
+                if kind not in AQM_BUILDERS:
+                    raise ScenarioError(
+                        f"{path}.define[{index}].kind",
+                        f"unknown AQM kind {kind!r} "
+                        f"(available: {sorted(AQM_BUILDERS)})",
+                    )
+                params_fields = entry_fields.table("params")
+                params: Dict[str, float] = {}
+                if params_fields is not None:
+                    for key in list(params_fields.data):
+                        params[key] = params_fields.number(key)
+                    params_fields.finish()
+                entry_fields.finish()
+                if any(existing == name for existing, _ in define):
+                    raise ScenarioError(
+                        f"{path}.define[{index}].name",
+                        f"duplicate scheme name {name!r}",
+                    )
+                define.append((name, AqmSpec.make(kind, **params)))
+        return cls(preset=preset, only=only, define=tuple(define))
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.preset is not None:
+            if self.only is None:
+                return {"preset": self.preset}
+            return {"preset": self.preset, "only": list(self.only)}
+        return {
+            "define": [
+                {"name": name, "kind": spec.kind, "params": dict(spec.params)}
+                for name, spec in self.define
+            ]
+        }
+
+    def resolve(self) -> Dict[str, AqmSpec]:
+        """Display name -> :class:`AqmSpec`, in presentation order."""
+        if self.preset is not None:
+            specs = _preset_schemes(self.preset)
+            if self.only is not None:
+                return {name: specs[name] for name in self.only}
+            return specs
+        return dict(self.define)
+
+
+def _preset_schemes(preset: str) -> Dict[str, AqmSpec]:
+    from ..experiments.schemes import (
+        simulation_scheme_specs,
+        testbed_scheme_specs,
+    )
+
+    if preset == "testbed":
+        return testbed_scheme_specs()
+    return simulation_scheme_specs()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One component of the scenario's traffic mix.
+
+    ``kind="fct"`` is a Poisson FCT sweep of ``workload``-distributed flows
+    over the scenario topology at each of ``loads``; ``kind="incast"`` is
+    the Figure 10/11 query-burst rig swept over ``fanouts``.  ``rtt`` (a
+    partial override of the scenario profile) gives this component its own
+    RTT band -- the per-group netem profile of the schema.  ``n_seeds``
+    overrides the scenario-level seed pooling for this component only.
+    """
+
+    name: str
+    kind: str
+    workload: Optional[str] = None
+    loads: Tuple[float, ...] = ()
+    n_flows: int = 0
+    fanouts: Tuple[int, ...] = ()
+    rtt: Optional[RttSpec] = None
+    n_seeds: Optional[int] = None
+
+    @classmethod
+    def from_fields(cls, fields: _Fields, scenario_rtt: RttSpec) -> "WorkloadSpec":
+        name = fields.string("name")
+        kind = fields.string("kind", choices=WORKLOAD_KINDS)
+        rtt_fields = fields.table("rtt")
+        rtt = (
+            RttSpec.from_fields(rtt_fields, default=scenario_rtt)
+            if rtt_fields is not None
+            else None
+        )
+        n_seeds = fields.integer("n_seeds", None, minimum=1)
+        if kind == "fct":
+            workload = fields.string("workload")
+            _validate_workload_name(workload, f"{fields.path}.workload")
+            spec = cls(
+                name=name,
+                kind=kind,
+                workload=workload,
+                loads=_number_array(fields, "loads", minimum=0.0),
+                n_flows=fields.integer("n_flows", minimum=1),
+                rtt=rtt,
+                n_seeds=n_seeds,
+            )
+        else:
+            spec = cls(
+                name=name,
+                kind=kind,
+                fanouts=_int_array(fields, "fanouts", minimum=1),
+                rtt=rtt,
+                n_seeds=n_seeds,
+            )
+        fields.finish()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "fct":
+            return _prune({
+                "name": self.name,
+                "kind": "fct",
+                "workload": self.workload,
+                "loads": list(self.loads),
+                "n_flows": self.n_flows,
+                "rtt": self.rtt.to_dict() if self.rtt is not None else None,
+                "n_seeds": self.n_seeds,
+            })
+        return _prune({
+            "name": self.name,
+            "kind": "incast",
+            "fanouts": list(self.fanouts),
+            "rtt": self.rtt.to_dict() if self.rtt is not None else None,
+            "n_seeds": self.n_seeds,
+        })
+
+
+def _validate_workload_name(name: str, path: str) -> None:
+    from ..experiments.specs import resolve_workload
+
+    try:
+        resolve_workload(name)
+    except ValueError as exc:
+        raise ScenarioError(path, str(exc)) from None
+
+
+# ----------------------------------------------------------------- scenario
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated scenario description (see the module docstring)."""
+
+    name: str
+    description: str
+    topology: TopologySpec
+    rtt: RttSpec
+    schemes: SchemeSet
+    workloads: Tuple[WorkloadSpec, ...]
+    seed: int
+    n_seeds: int = 1
+    transport: TransportSpec = field(default_factory=TransportSpec)
+    hypothesis: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], source: str = "scenario") -> "Scenario":
+        fields = _Fields(data, source)
+        version = fields.integer("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ScenarioError(
+                f"{source}.schema_version",
+                f"unsupported version {version} (this build reads "
+                f"version {SCHEMA_VERSION})",
+            )
+        name = fields.string("name")
+        if not name or any(c.isspace() or c == "|" for c in name):
+            raise ScenarioError(
+                f"{source}.name",
+                f"must be a non-empty token without whitespace or '|' "
+                f"(got {name!r})",
+            )
+        description = fields.string("description", "")
+        hypothesis = fields.string("hypothesis", "")
+        topology = TopologySpec.from_fields(fields.table("topology"))
+        rtt_fields = fields.table("rtt")
+        if rtt_fields is None:
+            raise ScenarioError(f"{source}.rtt", "required table is missing")
+        rtt = RttSpec.from_fields(rtt_fields)
+        schemes = SchemeSet.from_value(
+            fields.take("schemes"), f"{source}.schemes"
+        )
+        run_fields = fields.table("run")
+        if run_fields is None:
+            raise ScenarioError(f"{source}.run", "required table is missing")
+        seed = run_fields.integer("seed", minimum=0)
+        n_seeds = run_fields.integer("n_seeds", 1, minimum=1)
+        run_fields.finish()
+        transport = TransportSpec.from_fields(fields.table("transport"))
+        workloads_raw = fields.array("workloads")
+        if not workloads_raw:
+            raise ScenarioError(f"{source}.workloads", "must not be empty")
+        workloads = tuple(
+            WorkloadSpec.from_fields(
+                _Fields(entry, f"{source}.workloads[{index}]"), rtt
+            )
+            for index, entry in enumerate(workloads_raw)
+        )
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            duplicate = next(n for n in names if names.count(n) > 1)
+            raise ScenarioError(
+                f"{source}.workloads",
+                f"duplicate component name {duplicate!r}",
+            )
+        fields.finish()
+        return cls(
+            name=name,
+            description=description,
+            topology=topology,
+            rtt=rtt,
+            schemes=schemes,
+            workloads=workloads,
+            seed=seed,
+            n_seeds=n_seeds,
+            transport=transport,
+            hypothesis=hypothesis,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form: defaulted optional fields are omitted, so
+        ``from_dict(to_dict(s)) == s`` and canonical input round-trips to
+        the identical dict."""
+        data: Dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "name": self.name,
+        }
+        if self.description:
+            data["description"] = self.description
+        if self.hypothesis:
+            data["hypothesis"] = self.hypothesis
+        topology = self.topology.to_dict()
+        if topology != {"kind": "star"}:
+            data["topology"] = topology
+        data["rtt"] = self.rtt.to_dict()
+        data["schemes"] = self.schemes.to_dict()
+        run: Dict[str, Any] = {"seed": self.seed}
+        if self.n_seeds != 1:
+            run["n_seeds"] = self.n_seeds
+        data["run"] = run
+        transport = self.transport.to_dict()
+        if transport:
+            data["transport"] = transport
+        data["workloads"] = [w.to_dict() for w in self.workloads]
+        return data
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical dict form: the campaign store's
+        scenario identity (any semantic edit changes it)."""
+        return stable_hash(self.to_dict())
+
+    def rtt_for(self, component: WorkloadSpec) -> RttSpec:
+        return component.rtt if component.rtt is not None else self.rtt
+
+    def seeds_for(self, component: WorkloadSpec) -> int:
+        return component.n_seeds if component.n_seeds is not None else self.n_seeds
+
+
+# ------------------------------------------------------------------ loading
+
+
+def load_scenario(path: "Path | str") -> Scenario:
+    """Load one scenario file (``.toml`` or ``.json``)."""
+    path = Path(path)
+    source = path.name
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(source, f"invalid TOML: {exc}") from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(source, f"invalid JSON: {exc}") from None
+    else:
+        raise ScenarioError(
+            source,
+            f"unsupported suffix {path.suffix!r} "
+            f"(expected one of {list(SCENARIO_SUFFIXES)})",
+        )
+    return Scenario.from_dict(data, source=source)
+
+
+def load_scenario_dir(path: "Path | str") -> List[Tuple[Path, Scenario]]:
+    """Load every scenario file in a directory, sorted by filename."""
+    path = Path(path)
+    if not path.is_dir():
+        raise FileNotFoundError(f"scenario directory does not exist: {path}")
+    pairs: List[Tuple[Path, Scenario]] = []
+    for child in sorted(path.iterdir()):
+        if child.suffix in SCENARIO_SUFFIXES and child.is_file():
+            pairs.append((child, load_scenario(child)))
+    if not pairs:
+        raise FileNotFoundError(
+            f"no scenario files ({'/'.join(SCENARIO_SUFFIXES)}) in {path}"
+        )
+    return pairs

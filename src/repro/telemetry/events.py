@@ -30,6 +30,7 @@ CATEGORIES: tuple = (
     "flow",    # flow start / completion
     "failure", # experiment-level run failure (crash, stall, timeout, ...)
     "validation",  # fidelity-gate verdict (baseline cell or paper invariant)
+    "scenario",    # campaign cell settled (executed, skipped or failed)
 )
 """Every category the built-in instrumentation emits."""
 

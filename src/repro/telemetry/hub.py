@@ -148,6 +148,21 @@ class Telemetry:
                 check=kind, name=name, figure=figure, detail=detail,
             )
 
+    # -------------------------------------------------------- campaign hooks
+
+    def on_campaign_cell(
+        self, scenario: str, cell_key: str, status: str
+    ) -> None:
+        """Record one campaign cell settling (``status`` is ``"ok"`` for an
+        executed cell, ``"skipped"`` for a store replay, ``"failed"`` for a
+        cell whose every seed run died)."""
+        self.registry.counter("campaign_cells_total", status=status).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("scenario"):
+            recorder.emit(
+                0.0, "scenario", status, scenario=scenario, cell=cell_key,
+            )
+
     # ------------------------------------------------------ data-plane hooks
 
     def on_enqueue(self, port, packet, now: float) -> None:

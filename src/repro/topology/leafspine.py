@@ -64,14 +64,27 @@ def build_leafspine(
     buffer_bytes: int = mb(1),
     aqm_factory: Optional[AqmFactory] = None,
     network: Optional[Network] = None,
+    oversubscription: float = 1.0,
 ) -> LeafSpineTopology:
     """Build an ``n_spines x n_leaves`` fabric with ``hosts_per_leaf`` hosts.
 
     Defaults match the paper's 8x8x16 = 128-host simulation; pass smaller
     values for tractable pure-Python runs.
+
+    ``oversubscription`` is the rack's uplink contention ratio: leaf-spine
+    links run at ``link_rate_bps / oversubscription`` while host links keep
+    the full rate, so 2.0 models a 2:1 oversubscribed rack.  1.0 (the
+    default) is the paper's non-blocking fabric and leaves every rate
+    bit-for-bit unchanged.
     """
     if n_spines <= 0 or n_leaves <= 0 or hosts_per_leaf <= 0:
         raise ValueError("topology dimensions must be positive")
+    if oversubscription < 1.0:
+        raise ValueError(
+            f"oversubscription must be >= 1 (got {oversubscription:g}); "
+            "an undersubscribed fabric would make uplinks faster than hosts"
+        )
+    uplink_rate_bps = link_rate_bps / oversubscription
     net = network if network is not None else Network()
 
     def fresh_aqm() -> Optional[Aqm]:
@@ -106,7 +119,7 @@ def build_leafspine(
             net.connect(
                 leaf,
                 spine,
-                rate_bps=link_rate_bps,
+                rate_bps=uplink_rate_bps,
                 propagation_delay=fabric_link_delay,
                 buffer_bytes=buffer_bytes,
                 aqm_a_to_b=fresh_aqm(),  # leaf -> spine uplink

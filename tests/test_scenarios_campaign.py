@@ -1,0 +1,194 @@
+"""Tests for campaign orchestration: resumable execution over the JSONL
+store, crash safety, failure re-execution, and telemetry accounting."""
+
+import json
+
+import pytest
+
+from repro.experiments.executor import Executor
+from repro.scenarios import (
+    CampaignStore,
+    CellRecord,
+    Scenario,
+    compile_scenario,
+    render_store_report,
+    run_campaign,
+)
+from repro.telemetry import Telemetry, activate
+
+from test_scenarios_schema import base_dict
+
+
+def tiny_scenario(name="campaign-unit", loads=(0.2, 0.4), seed=7):
+    """Two fast cells (one scheme, tiny flow counts)."""
+    data = base_dict(name=name, run={"seed": seed})
+    data["workloads"][0].update({"loads": list(loads), "n_flows": 6})
+    return Scenario.from_dict(data)
+
+
+def executor():
+    return Executor(jobs=1, cache=False, retries=0)
+
+
+class TestRunAndResume:
+    def test_first_pass_executes_every_cell(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        result = run_campaign([tiny_scenario()], store, executor())
+        assert result.summary_line() == "cells=2 executed=2 skipped=0 failed=0"
+        index = CampaignStore(store).load()
+        assert len(index) == 2
+        for record in index.values():
+            assert record.status == "ok"
+            assert "overall_avg" in record.metrics
+            assert record.version
+
+    def test_rerun_skips_everything_and_appends_nothing(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        scenario = tiny_scenario()
+        first = run_campaign([scenario], store, executor())
+        content = store.read_bytes()
+        second = run_campaign([scenario], store, executor())
+        assert second.executed_cells == 0
+        assert second.skipped_cells == 2
+        assert store.read_bytes() == content
+        # the skipped pass still surfaces the stored records
+        assert {r.cell_key for r in second.records} == {
+            r.cell_key for r in first.records
+        }
+
+    def test_interrupted_store_is_bit_identical_after_resume(self, tmp_path):
+        """Kill after one cell (max_cells), resume, and compare the store
+        byte-for-byte against an uninterrupted campaign."""
+        scenario = tiny_scenario()
+        interrupted = tmp_path / "interrupted.jsonl"
+        partial = run_campaign([scenario], interrupted, executor(),
+                               max_cells=1)
+        assert partial.executed_cells == 1
+        resumed = run_campaign([scenario], interrupted, executor())
+        assert resumed.executed_cells == 1
+        assert resumed.skipped_cells == 1
+
+        uninterrupted = tmp_path / "uninterrupted.jsonl"
+        run_campaign([scenario], uninterrupted, executor())
+        assert interrupted.read_bytes() == uninterrupted.read_bytes()
+
+    def test_scenario_edit_invalidates_records(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        run_campaign([tiny_scenario(seed=7)], store, executor())
+        # same name, different seed: a new content hash, so nothing is reused
+        edited = run_campaign([tiny_scenario(seed=8)], store, executor())
+        assert edited.executed_cells == 2
+        assert edited.skipped_cells == 0
+
+
+class TestFailureHandling:
+    def test_failed_cell_reexecutes_on_rerun(self, tmp_path, monkeypatch):
+        scenario = tiny_scenario()
+        store = tmp_path / "campaign.jsonl"
+        victim = compile_scenario(scenario).cells[0].specs[0].token()
+        monkeypatch.setenv("REPRO_FAULT_INJECT", f"raise:{victim}")
+        first = run_campaign([scenario], store, executor())
+        assert first.executed_cells == 2
+        assert first.failed_cells == 1
+        failed = [r for r in first.records if r.status == "failed"]
+        assert len(failed) == 1
+        assert failed[0].failures[0]["exc"] == "InjectedFault"
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        second = run_campaign([scenario], store, executor())
+        assert second.executed_cells == 1  # only the failed cell
+        assert second.skipped_cells == 1
+        assert all(r.status == "ok"
+                   for r in CampaignStore(store).load().values())
+
+    def test_torn_trailing_line_is_skipped_and_healed(self, tmp_path):
+        scenario = tiny_scenario()
+        store = tmp_path / "campaign.jsonl"
+        run_campaign([scenario], store, executor())
+        lines = store.read_text().splitlines()
+        # tear the second record mid-write, no trailing newline
+        store.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+
+        with pytest.warns(UserWarning, match="unreadable record"):
+            resumed = run_campaign([scenario], store, executor())
+        assert resumed.executed_cells == 1
+        assert resumed.skipped_cells == 1
+        # the healed store parses completely and settles every cell ok
+        with pytest.warns(UserWarning):
+            index = CampaignStore(store).load()
+        assert len(index) == 2
+        assert all(r.status == "ok" for r in index.values())
+        # and a further rerun is a pure skip
+        with pytest.warns(UserWarning):
+            final = run_campaign([scenario], store, executor())
+        assert final.executed_cells == 0
+
+
+class TestStore:
+    def test_records_round_trip(self, tmp_path):
+        record = CellRecord(
+            scenario="s", scenario_hash="h", cell_key="k", component="c",
+            tokens=("t1", "t2"), status="ok", metrics={"m": 1.0},
+            failures=(), git_sha="abc", version="0.1",
+        )
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.append([record])
+        assert store.load() == {record.key: record}
+
+    def test_latest_record_wins(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        old = CellRecord("s", "h", "k", "c", ("t",), "failed", {}, (),
+                         None, "0.1")
+        new = CellRecord("s", "h", "k", "c", ("t",), "ok", {"m": 2.0}, (),
+                         None, "0.1")
+        store.append([old])
+        store.append([new])
+        assert store.load()[("h", ("t",))].status == "ok"
+
+    def test_records_carry_no_timestamps(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        run_campaign([tiny_scenario()], store, executor())
+        for line in store.read_text().splitlines():
+            payload = json.loads(line)
+            assert set(payload) == {
+                "scenario", "scenario_hash", "cell_key", "component",
+                "tokens", "status", "metrics", "failures", "git_sha",
+                "version",
+            }
+
+
+class TestTelemetryAndReport:
+    def test_campaign_cells_counter(self, tmp_path):
+        scenario = tiny_scenario()
+        store = tmp_path / "campaign.jsonl"
+        telemetry = Telemetry()
+        with activate(telemetry):
+            run_campaign([scenario], store, executor())
+            run_campaign([scenario], store, executor())
+        registry = telemetry.registry
+        assert registry.counter("campaign_cells_total", status="ok").value == 2
+        assert (
+            registry.counter("campaign_cells_total", status="skipped").value
+            == 2
+        )
+        assert (
+            registry.counter("campaign_cells_total", status="failed").value
+            == 0
+        )
+
+    def test_report_renders_cells_and_filters_by_hash(self, tmp_path):
+        scenario = tiny_scenario()
+        store = tmp_path / "campaign.jsonl"
+        run_campaign([scenario], store, executor())
+        report = render_store_report(store)
+        assert "campaign-unit" in report
+        assert "ws|load=0.2|scheme=ECN#" in report
+        assert "overall_avg" in report
+        # filtering by an edited scenario (different hash) hides the records
+        filtered = render_store_report(store, [tiny_scenario(seed=99)])
+        assert "no campaign records" in filtered
+
+    def test_report_on_missing_store(self, tmp_path):
+        assert "no campaign records" in render_store_report(
+            tmp_path / "absent.jsonl"
+        )

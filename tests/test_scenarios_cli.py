@@ -1,0 +1,150 @@
+"""Tests for the ``repro scenario`` CLI verbs and ``--dry-run``."""
+
+import pytest
+
+from repro.cli import main
+
+from test_scenarios_campaign import tiny_scenario
+
+SCENARIO_TOML = """\
+schema_version = 1
+name = "cli-unit"
+
+[rtt]
+min_us = 70.0
+variation = 3.0
+shape = "testbed"
+
+[schemes]
+preset = "testbed"
+only = ["ECN#"]
+
+[run]
+seed = 7
+
+[[workloads]]
+name = "ws"
+kind = "fct"
+workload = "web-search"
+loads = [0.2]
+n_flows = 6
+"""
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "cli_unit.toml"
+    path.write_text(SCENARIO_TOML)
+    return path
+
+
+class TestListAndCheck:
+    def test_list_library(self, capsys):
+        assert main(["scenario", "list", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_websearch.toml" in out
+        assert "cells=8 specs=16" in out
+
+    def test_check_library(self, capsys):
+        assert main(["scenario", "check", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("  ok") >= 7
+
+    def test_check_single_file(self, scenario_file, capsys):
+        assert main(["scenario", "check", str(scenario_file)]) == 0
+        assert "cli-unit  cells=1 specs=1  ok" in capsys.readouterr().out
+
+    def test_schema_error_exits_2_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text(
+            SCENARIO_TOML.replace("[rtt]", "frobnicate = 1\n[rtt]", 1)
+        )
+        assert main(["scenario", "check", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.toml.frobnicate" in err
+        assert "unknown field" in err
+
+    def test_compile_error_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad_compile.toml"
+        bad.write_text(
+            SCENARIO_TOML.replace(
+                'kind = "fct"\nworkload = "web-search"\n'
+                "loads = [0.2]\nn_flows = 6",
+                'kind = "incast"\nfanouts = [50]',
+            )
+            + '\n[topology]\nkind = "leafspine"\n'
+        )
+        assert main(["scenario", "check", str(bad)]) == 1
+        assert "star topology" in capsys.readouterr().err
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["scenario", "list", str(tmp_path / "absent")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestScenarioRun:
+    def test_run_then_resume_executes_zero(self, scenario_file, tmp_path,
+                                           capsys):
+        store = tmp_path / "campaign.jsonl"
+        argv = ["scenario", "run", str(scenario_file), "--store", str(store),
+                "--no-cache"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cells=1 executed=1 skipped=0 failed=0" in out
+        assert store.exists()
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cells=1 executed=0 skipped=1 failed=0" in out
+
+    def test_dry_run_simulates_nothing(self, scenario_file, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        argv = ["scenario", "run", str(scenario_file), "--store", str(store),
+                "--no-cache", "--dry-run"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "dry run: scenario cli-unit (1 cells, 1 specs)" in out
+        assert "nothing simulated" in out
+        assert "miss" in out
+        assert not store.exists()
+
+    def test_dry_run_reports_cache_hits(self, scenario_file, tmp_path,
+                                        capsys):
+        store = tmp_path / "campaign.jsonl"
+        cache = tmp_path / "cache"
+        base = ["scenario", "run", str(scenario_file), "--store", str(store),
+                "--cache-dir", str(cache)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 to execute" in out
+
+    def test_report_renders_store(self, scenario_file, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        assert main(["scenario", "run", str(scenario_file), "--store",
+                     str(store), "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "report", str(scenario_file), "--store",
+                     str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario cli-unit" in out
+        assert "ws|load=0.2|scheme=ECN#" in out
+
+    def test_report_on_empty_store(self, tmp_path, capsys):
+        assert main(["scenario", "report", "--store",
+                     str(tmp_path / "none.jsonl")]) == 0
+        assert "no campaign records" in capsys.readouterr().out
+
+
+class TestExperimentDryRun:
+    def test_run_dry_run_prints_grid_without_simulating(self, capsys):
+        assert main(["run", "fig6", "--dry-run", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: resolved spec grid for fig6" in out
+        assert "nothing simulated" in out
+        assert "to execute" in out
+
+    def test_run_dry_run_gridless_experiment(self, capsys):
+        assert main(["run", "fig5", "--dry-run"]) == 0
+        assert "builds no executor spec grid" in capsys.readouterr().out

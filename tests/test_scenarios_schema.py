@@ -1,0 +1,301 @@
+"""Tests for the declarative scenario schema: field-level validation with
+actionable paths, canonical dict round-trips, and the checked-in library."""
+
+import copy
+import tomllib
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    SCHEMA_VERSION,
+    Scenario,
+    ScenarioError,
+    load_scenario,
+    load_scenario_dir,
+)
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
+
+
+def base_dict(**overrides):
+    """A minimal valid scenario in canonical dict form."""
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "name": "unit",
+        "rtt": {"min_us": 70.0, "variation": 3.0, "shape": "testbed"},
+        "schemes": {"preset": "testbed", "only": ["ECN#"]},
+        "run": {"seed": 1},
+        "workloads": [
+            {
+                "name": "ws",
+                "kind": "fct",
+                "workload": "web-search",
+                "loads": [0.5],
+                "n_flows": 10,
+            },
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+def full_dict():
+    """Every optional schema feature exercised at a non-default value."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": "full",
+        "description": "every field set",
+        "hypothesis": "round-trips are the identity",
+        "topology": {
+            "kind": "leafspine",
+            "spines": 2,
+            "leaves": 3,
+            "hosts_per_leaf": 5,
+            "oversubscription": 2.0,
+        },
+        "rtt": {"min_us": 40.0, "variation": 5.0, "shape": "fabric"},
+        "schemes": {
+            "define": [
+                {"name": "RED-A", "kind": "sojourn-red",
+                 "params": {"sojourn": 0.0002}},
+                {"name": "CoDel-B", "kind": "codel",
+                 "params": {"interval": 0.0002, "target": 0.00005}},
+            ]
+        },
+        "run": {"seed": 5, "n_seeds": 3},
+        "transport": {"cc": "reno", "init_cwnd": 4.0, "min_rto_us": 900.0},
+        "workloads": [
+            {
+                "name": "dm",
+                "kind": "fct",
+                "workload": "data-mining",
+                "loads": [0.3, 0.6],
+                "n_flows": 20,
+                "rtt": {"min_us": 80.0, "variation": 2.0, "shape": "fabric"},
+                "n_seeds": 2,
+            },
+        ],
+    }
+
+
+# --------------------------------------------------------------- round trips
+
+
+class TestRoundTrip:
+    def test_minimal_dict_is_canonical(self):
+        data = base_dict()
+        assert Scenario.from_dict(data).to_dict() == data
+
+    def test_full_feature_dict_is_canonical(self):
+        data = full_dict()
+        assert Scenario.from_dict(data).to_dict() == data
+
+    def test_dict_scenario_dict_identity(self):
+        for data in (base_dict(), full_dict()):
+            scenario = Scenario.from_dict(data)
+            again = Scenario.from_dict(scenario.to_dict())
+            assert again == scenario
+            assert again.to_dict() == scenario.to_dict()
+
+    def test_string_scheme_shorthand_normalises(self):
+        scenario = Scenario.from_dict(base_dict(schemes="testbed"))
+        assert scenario.to_dict()["schemes"] == {"preset": "testbed"}
+        assert len(scenario.schemes.resolve()) == 4
+
+    def test_defaulted_fields_are_omitted(self):
+        data = base_dict(topology={"kind": "star"}, transport={})
+        encoded = Scenario.from_dict(data).to_dict()
+        assert "topology" not in encoded
+        assert "transport" not in encoded
+        assert encoded["run"] == {"seed": 1}
+
+    def test_content_hash_tracks_semantic_edits(self):
+        original = Scenario.from_dict(base_dict())
+        edited = Scenario.from_dict(base_dict(run={"seed": 2}))
+        assert original.content_hash() != edited.content_hash()
+        assert original.content_hash() == Scenario.from_dict(
+            base_dict()
+        ).content_hash()
+
+
+# --------------------------------------------------------------- validation
+
+
+class TestValidation:
+    def test_unknown_top_level_field_names_path(self):
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(base_dict(frobnicate=1))
+        assert exc_info.value.path == "scenario.frobnicate"
+        assert "unknown field" in str(exc_info.value)
+
+    def test_unknown_workload_field_names_path(self):
+        data = base_dict()
+        data["workloads"][0]["bogus"] = True
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.workloads[0].bogus"
+
+    def test_unknown_aqm_kind_names_path_and_choices(self):
+        data = base_dict(
+            schemes={"define": [{"name": "X", "kind": "red-tail"}]}
+        )
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.schemes.define[0].kind"
+        message = str(exc_info.value)
+        assert "unknown AQM kind" in message
+        assert "ecn-sharp" in message  # the available kinds are listed
+
+    def test_unknown_scheme_in_only(self):
+        data = base_dict(schemes={"preset": "testbed", "only": ["NoSuch"]})
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.schemes.only[0]"
+        assert "ECN#" in str(exc_info.value)
+
+    def test_tcn_only_in_simulation_preset(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(
+                base_dict(schemes={"preset": "testbed", "only": ["TCN"]})
+            )
+        scenario = Scenario.from_dict(
+            base_dict(schemes={"preset": "simulation", "only": ["TCN"]})
+        )
+        assert list(scenario.schemes.resolve()) == ["TCN"]
+
+    def test_preset_and_define_are_exclusive(self):
+        data = base_dict(
+            schemes={
+                "preset": "testbed",
+                "define": [{"name": "X", "kind": "codel"}],
+            }
+        )
+        with pytest.raises(ScenarioError, match="mutually exclusive"):
+            Scenario.from_dict(data)
+
+    def test_unknown_workload_distribution(self):
+        data = base_dict()
+        data["workloads"][0]["workload"] = "cache-follower"
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.workloads[0].workload"
+        assert "web-search" in str(exc_info.value)
+
+    def test_unsupported_schema_version(self):
+        with pytest.raises(ScenarioError, match="unsupported version 99"):
+            Scenario.from_dict(base_dict(schema_version=99))
+
+    def test_duplicate_component_names(self):
+        data = base_dict()
+        data["workloads"].append(copy.deepcopy(data["workloads"][0]))
+        with pytest.raises(ScenarioError, match="duplicate component name"):
+            Scenario.from_dict(data)
+
+    def test_name_must_be_token(self):
+        for bad in ("", "two words", "a|b"):
+            with pytest.raises(ScenarioError):
+                Scenario.from_dict(base_dict(name=bad))
+
+    def test_zero_load_rejected_with_index(self):
+        data = base_dict()
+        data["workloads"][0]["loads"] = [0.5, 0.0]
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.workloads[0].loads[1]"
+
+    def test_missing_rtt_table(self):
+        data = base_dict()
+        del data["rtt"]
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.rtt"
+
+    def test_unknown_rtt_shape_lists_choices(self):
+        data = base_dict(rtt={"min_us": 70.0, "variation": 3.0, "shape": "x"})
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert "testbed" in str(exc_info.value)
+
+    def test_unknown_cc_variant(self):
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(base_dict(transport={"cc": "cubic"}))
+        assert exc_info.value.path == "scenario.transport.cc"
+
+    def test_oversubscription_below_one_rejected(self):
+        data = base_dict(
+            topology={"kind": "leafspine", "oversubscription": 0.5}
+        )
+        with pytest.raises(ScenarioError) as exc_info:
+            Scenario.from_dict(data)
+        assert exc_info.value.path == "scenario.topology.oversubscription"
+
+    def test_component_rtt_partial_override(self):
+        data = base_dict()
+        data["workloads"][0]["rtt"] = {"variation": 5.0}
+        scenario = Scenario.from_dict(data)
+        component = scenario.workloads[0]
+        assert component.rtt.variation == 5.0
+        assert component.rtt.min_us == 70.0  # inherited from scenario [rtt]
+        assert scenario.rtt_for(component) is component.rtt
+
+    def test_seeds_for_prefers_component_override(self):
+        data = base_dict(run={"seed": 1, "n_seeds": 4})
+        data["workloads"][0]["n_seeds"] = 2
+        scenario = Scenario.from_dict(data)
+        assert scenario.seeds_for(scenario.workloads[0]) == 2
+
+
+# ------------------------------------------------------------------ loading
+
+
+class TestLoading:
+    def test_invalid_toml_reports_source(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(ScenarioError, match="invalid TOML"):
+            load_scenario(path)
+
+    def test_json_scenario_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "unit.json"
+        path.write_text(json.dumps(base_dict()))
+        assert load_scenario(path).name == "unit"
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "unit.yaml"
+        path.write_text("name: unit")
+        with pytest.raises(ScenarioError, match="unsupported suffix"):
+            load_scenario(path)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no scenario files"):
+            load_scenario_dir(tmp_path)
+
+
+# ------------------------------------------------------------------ library
+
+
+class TestLibrary:
+    def test_library_loads_with_unique_names(self):
+        pairs = load_scenario_dir(SCENARIO_DIR)
+        names = [scenario.name for _, scenario in pairs]
+        assert len(pairs) >= 7
+        assert len(set(names)) == len(names)
+
+    def test_library_files_are_canonical(self):
+        """Every checked-in file round-trips to the identical dict, so the
+        on-disk form *is* the canonical form (and the content hash of the
+        file matches the content hash of the loaded scenario)."""
+        for path in sorted(SCENARIO_DIR.glob("*.toml")):
+            raw = tomllib.loads(path.read_text(encoding="utf-8"))
+            scenario = load_scenario(path)
+            assert scenario.to_dict() == raw, path.name
+
+    def test_library_hypotheses_on_beyond_paper_scenarios(self):
+        pairs = load_scenario_dir(SCENARIO_DIR)
+        beyond = [s for _, s in pairs if not s.name.startswith("fig")]
+        assert len(beyond) >= 3
+        for scenario in beyond:
+            assert scenario.hypothesis, scenario.name

@@ -148,3 +148,50 @@ class TestLeafSpine:
             if any(port.stats.tx_packets > 0 for port in spine.ports)
         )
         assert used_spines >= 2
+
+
+class TestOversubscription:
+    def fabric_ports(self, topo):
+        uplinks, downlinks, host_links = [], [], []
+        for leaf in topo.leaves:
+            for port in leaf.ports:
+                if "->spine" in port.name:
+                    uplinks.append(port)
+                else:
+                    host_links.append(port)
+        for spine in topo.spines:
+            downlinks.extend(spine.ports)
+        return uplinks, downlinks, host_links
+
+    def test_uplinks_run_at_fraction_of_host_rate(self):
+        topo = build_leafspine(
+            n_spines=2, n_leaves=2, hosts_per_leaf=2,
+            link_rate_bps=gbps(10), oversubscription=2.0,
+        )
+        uplinks, downlinks, host_links = self.fabric_ports(topo)
+        assert uplinks and downlinks and host_links
+        for port in uplinks + downlinks:
+            assert port.rate_bps == gbps(10) / 2.0
+        for port in host_links:
+            assert port.rate_bps == gbps(10)
+
+    def test_default_ratio_leaves_rates_untouched(self):
+        topo = build_leafspine(n_spines=2, n_leaves=2, hosts_per_leaf=2,
+                               link_rate_bps=gbps(10))
+        uplinks, downlinks, host_links = self.fabric_ports(topo)
+        for port in uplinks + downlinks + host_links:
+            assert port.rate_bps == gbps(10)
+
+    def test_undersubscription_rejected(self):
+        with pytest.raises(ValueError, match="oversubscription must be >= 1"):
+            build_leafspine(n_spines=2, n_leaves=2, hosts_per_leaf=2,
+                            oversubscription=0.5)
+
+    def test_oversubscribed_fabric_still_completes_flows(self):
+        topo = build_leafspine(n_spines=2, n_leaves=2, hosts_per_leaf=2,
+                               oversubscription=4.0)
+        src = topo.hosts_by_leaf[0][0]
+        dst = topo.hosts_by_leaf[1][0]
+        flow = open_flow(topo.network, PacketFactory(), src, dst, 100_000)
+        topo.network.sim.run_until_idle()
+        assert flow.completed
