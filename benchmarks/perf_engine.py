@@ -136,6 +136,13 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", metavar="BASELINE_JSON", default=None,
                         help="gate the fresh numbers against a previous "
                         "payload; exit 1 on a confirmed regression")
+    parser.add_argument("--trend", metavar="TREND_JSONL",
+                        default=str(Path(__file__).parent / "results"
+                                    / "trend.jsonl"),
+                        help="append a one-line summary of this run to a "
+                        "JSONL trend file (consumed by `repro obs report`)")
+    parser.add_argument("--no-trend", action="store_true",
+                        help="skip the trend-file append")
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -165,6 +172,25 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"# written to {args.out}")
+
+    if not args.no_trend:
+        trend_path = Path(args.trend)
+        trend_path.parent.mkdir(parents=True, exist_ok=True)
+        trend_row = {
+            "unix_time": round(payload["unix_time"], 3),
+            "git_sha": payload["git_sha"],
+            "python": payload["python"],
+            "cpu_count": cpus,
+            "events_per_sec": round(engine["events_per_sec"], 1),
+            "sweep_speedup": round(sweep["speedup"], 4),
+            "events": args.events,
+            "flows": args.flows,
+            "jobs": jobs,
+        }
+        with open(trend_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(trend_row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"# trend appended to {trend_path}")
 
     if args.compare is not None:
         from repro.validation.gates import evaluate_perf

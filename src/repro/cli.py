@@ -93,10 +93,13 @@ from .experiments.report import (
     to_json,
 )
 from .experiments.runner import Scale
+from .logs import configure_logging, get_logger
 from .sim.units import ms
-from .telemetry import CATEGORIES, RunManifest, Telemetry, activate
+from .telemetry import CATEGORIES, RunManifest, Telemetry, activate, make_progress
 
 __all__ = ["main", "EXPERIMENTS"]
+
+log = get_logger("cli")
 
 RunnerResult = Tuple[str, object]
 
@@ -254,6 +257,67 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """Shared live-progress / span-tracing options."""
+    parser.add_argument(
+        "--progress",
+        nargs="?",
+        const="auto",
+        choices=["auto", "tty", "jsonl"],
+        default=None,
+        metavar="MODE",
+        help="live progress on stderr: 'tty' (self-overwriting line), "
+        "'jsonl' (one JSON heartbeat per update), or 'auto' (tty when "
+        "stderr is a terminal, jsonl otherwise; the default when the flag "
+        "is given bare)",
+    )
+    parser.add_argument(
+        "--progress-out",
+        metavar="PATH",
+        default=None,
+        help="write JSONL heartbeat lines to PATH (implies --progress jsonl)",
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="record a hierarchical span tree (campaign/grid/cell/engine "
+        "phases, wall + virtual clocks) and print its summary",
+    )
+    parser.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        default=None,
+        help="write the span tree as JSON (implies --spans)",
+    )
+
+
+def _build_progress(args):
+    """``(reporter, owned_stream)`` from the progress flags (both None
+    when progress is off); the caller closes both."""
+    if args.progress_out is not None:
+        stream = open(args.progress_out, "w", encoding="utf-8")
+        return make_progress("jsonl", stream=stream, min_interval=0.0), stream
+    if args.progress is not None:
+        return make_progress(args.progress, stream=sys.stderr), None
+    return None, None
+
+
+def _finish_observability(args, telemetry, progress, progress_stream) -> None:
+    """Close the progress reporter and emit span summary/export."""
+    if progress is not None:
+        progress.close()
+    if progress_stream is not None:
+        progress_stream.close()
+    if telemetry is not None and telemetry.spans is not None:
+        log.info(f"# {telemetry.spans.summary_line()}")
+        if args.spans_out is not None:
+            with open(args.spans_out, "w", encoding="utf-8") as handle:
+                json.dump({"spans": telemetry.spans.to_list()}, handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+            log.info(f"# spans written to {args.spans_out}")
+
+
 def _build_executor(args, parser: argparse.ArgumentParser) -> Executor:
     """Resolve the executor options (CLI flag beats environment)."""
     if args.jobs is not None and args.jobs < 1:
@@ -299,6 +363,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce experiments from 'Enabling ECN for Datacenter "
         "Networks with RTT Variations' (CoNEXT 2019).",
     )
+    parser.add_argument(
+        "-q", "--quiet",
+        action="store_true",
+        help="suppress '#' diagnostic lines (warnings/errors still print)",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="enable debug-level diagnostics",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the available experiments")
@@ -318,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
         "exit without simulating",
     )
     _add_executor_args(run)
+    _add_observability_args(run)
     run.add_argument(
         "--trace",
         action="store_true",
@@ -462,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and exit without simulating",
     )
     _add_executor_args(s_run)
+    _add_observability_args(s_run)
 
     s_report = scenario_sub.add_parser(
         "report",
@@ -478,6 +555,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default="campaign.jsonl",
         help="campaign result store to read (default: campaign.jsonl)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="offline observability: dashboards from campaign stores and "
+        "benchmark trend files (no simulation)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    o_report = obs_sub.add_parser(
+        "report",
+        help="render a markdown/HTML dashboard from a campaign store, its "
+        "resource sidecar, and the perf trend file",
+    )
+    o_report.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="campaign store JSONL (default: none; trend-only report)",
+    )
+    o_report.add_argument(
+        "--resources",
+        metavar="PATH",
+        default=None,
+        help="resource sidecar JSONL (default: <store>.resources.jsonl)",
+    )
+    o_report.add_argument(
+        "--trend",
+        metavar="PATH",
+        default=None,
+        help="benchmark trend JSONL (e.g. benchmarks/results/trend.jsonl)",
+    )
+    o_report.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the markdown dashboard to PATH (default: stdout)",
+    )
+    o_report.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write a standalone HTML dashboard to PATH",
+    )
+    o_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the slowest-cells table (default: 10)",
     )
     return parser
 
@@ -500,7 +626,7 @@ def _write_results(path: str, summary: dict) -> None:
         to_csv(["figure", "cell", "metric", "value"], rows, path)
     else:
         to_json(summary, path)
-    print(f"# results written to {path}")
+    log.info(f"# results written to {path}")
 
 
 def _dry_run_table(specs, is_cached) -> Tuple[str, int]:
@@ -558,10 +684,13 @@ def _main_run(args, parser: argparse.ArgumentParser) -> int:
         ring_capacity=args.trace_capacity,
         metrics=collect_metrics,
         snapshot_interval=ms(1) if collect_metrics else None,
+        spans=args.spans or args.spans_out is not None,
     )
     manifest = RunManifest.collect(args.experiment, seed=seed, scale=scale)
+    progress, progress_stream = _build_progress(args)
+    executor.progress = progress
 
-    print(f"# {description} (seed={seed}, {'full' if scale.full else 'reduced'} scale)")
+    log.info(f"# {description} (seed={seed}, {'full' if scale.full else 'reduced'} scale)")
     started = time.time()
     previous_executor = set_default_executor(executor)
     try:
@@ -570,6 +699,7 @@ def _main_run(args, parser: argparse.ArgumentParser) -> int:
             print(text)
     finally:
         set_default_executor(previous_executor)
+        _finish_observability(args, telemetry, progress, progress_stream)
     wall = time.time() - started
     events = telemetry.profiler.events if telemetry.profiler else None
     if not events and telemetry.manifests:
@@ -577,35 +707,35 @@ def _main_run(args, parser: argparse.ArgumentParser) -> int:
         # process; their registered manifests carry the real counts.
         events = sum(m.events or 0 for m in telemetry.manifests) or None
     manifest.finish(wall_seconds=wall, events=events)
-    print(f"# completed in {wall:.1f}s")
-    print(
+    log.info(f"# completed in {wall:.1f}s")
+    log.info(
         f"# executor: jobs={executor.jobs} {executor.stats.merge_line()} "
         f"cache={'off' if executor.cache is None else executor.cache.directory}"
     )
     if executor.failures:
         print(format_failure_table(executor.failures))
     if telemetry.profiler is not None:
-        print(f"# {telemetry.profiler.summary_line()}")
-    print(f"# {format_manifest(manifest)}")
+        log.info(f"# {telemetry.profiler.summary_line()}")
+    log.info(f"# {format_manifest(manifest)}")
     if telemetry.recorder is not None:
-        print(f"# {format_trace_summary(telemetry.recorder)}")
+        log.info(f"# {format_trace_summary(telemetry.recorder)}")
     if args.trace_out is not None:
         written = telemetry.recorder.export_jsonl(args.trace_out)
-        print(f"# trace written to {args.trace_out} ({written} events)")
+        log.info(f"# trace written to {args.trace_out} ({written} events)")
     if args.metrics_out is not None:
         snapshot = telemetry.snapshot()
         snapshot["manifest"] = manifest.to_dict()
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"# metrics written to {args.metrics_out}")
+        log.info(f"# metrics written to {args.metrics_out}")
     if args.results_out is not None:
         _write_results(args.results_out, SUMMARIZERS[args.experiment](result))
     stats = executor.stats
     if stats.submitted and stats.failed >= stats.submitted:
         # Partial grids render with gaps and exit 0; only a figure with
         # zero usable cells is a hard failure.
-        print("# error: every cell failed; no usable results", file=sys.stderr)
+        log.error("# error: every cell failed; no usable results")
         return 1
     return 0
 
@@ -634,7 +764,7 @@ def _dry_run_experiment(args, runner, scale: Scale, seed: int) -> int:
         print(f"# dry run: {args.experiment} builds no executor spec grid")
         return 0
     table, hits = _dry_run_table(dry.captured, dry.is_cached)
-    print(f"# dry run: resolved spec grid for {args.experiment} (seed={seed})")
+    log.info(f"# dry run: resolved spec grid for {args.experiment} (seed={seed})")
     print(table)
     print(
         f"# {len(dry.captured)} spec(s): {hits} cached, "
@@ -665,7 +795,7 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
             try:
                 scenarios = [s for _, s in load_pairs(args.path)]
             except (ScenarioError, FileNotFoundError) as exc:
-                print(f"# error: {exc}", file=sys.stderr)
+                log.error(f"# error: {exc}")
                 return 2
         print(render_store_report(args.store, scenarios))
         return 0
@@ -676,7 +806,7 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
         try:
             pairs = load_pairs(args.path)
         except (ScenarioError, FileNotFoundError) as exc:
-            print(f"# error: {exc}", file=sys.stderr)
+            log.error(f"# error: {exc}")
             return 2
         for path, scenario in pairs:
             try:
@@ -685,7 +815,7 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
                     else compile_scenario(scenario)
                 )
             except ScenarioError as exc:
-                print(f"# error: {exc}", file=sys.stderr)
+                log.error(f"# error: {exc}")
                 status = 1
                 continue
             line = (
@@ -707,7 +837,7 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
         scenarios = [s for _, s in pairs]
         compiled = [compile_scenario(s) for s in scenarios]
     except (ScenarioError, FileNotFoundError) as exc:
-        print(f"# error: {exc}", file=sys.stderr)
+        log.error(f"# error: {exc}")
         return 2
 
     if args.dry_run:
@@ -740,7 +870,8 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
         return 0
 
     executor = _build_executor(args, parser)
-    telemetry = Telemetry()
+    telemetry = Telemetry(spans=args.spans or args.spans_out is not None)
+    progress, progress_stream = _build_progress(args)
     started = time.time()
     previous_executor = set_default_executor(executor)
     try:
@@ -750,21 +881,23 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
                 store=args.store,
                 executor=executor,
                 max_cells=args.max_cells,
+                progress=progress,
             )
     finally:
         set_default_executor(previous_executor)
+        _finish_observability(args, telemetry, progress, progress_stream)
     wall = time.time() - started
     print(f"# campaign: {result.summary_line()} ({wall:.1f}s)")
-    print(
+    log.info(
         f"# executor: jobs={executor.jobs} {executor.stats.merge_line()} "
         f"cache={'off' if executor.cache is None else executor.cache.directory}"
     )
-    print(f"# store: {args.store} ({len(result.records)} record(s) this pass)")
+    log.info(f"# store: {args.store} ({len(result.records)} record(s) this pass)")
     if executor.failures:
         print(format_failure_table(executor.failures))
     settled = result.executed_cells + result.skipped_cells
     if settled and result.failed_cells >= settled:
-        print("# error: every cell failed; no usable results", file=sys.stderr)
+        log.error("# error: every cell failed; no usable results")
         return 1
     return 0
 
@@ -793,10 +926,10 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
                         bench_path=args.bench,
                     )
                 except DirtyTreeError as exc:
-                    print(f"# error: {exc}", file=sys.stderr)
+                    log.error(f"# error: {exc}")
                     return 2
                 except RuntimeError as exc:
-                    print(f"# error: {exc}", file=sys.stderr)
+                    log.error(f"# error: {exc}")
                     return 1
                 cells = sum(
                     len(fig["cells"]) for fig in baseline.figures.values()
@@ -806,7 +939,7 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
                     f"sha={baseline.manifest.git_sha}, "
                     f"dirty={baseline.manifest.git_dirty})"
                 )
-                print(
+                log.info(
                     f"# executor: jobs={executor.jobs} "
                     f"{executor.stats.merge_line()}"
                 )
@@ -821,25 +954,55 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
                     bench_path=args.bench,
                 )
             except (StaleBaselineError, FileNotFoundError) as exc:
-                print(f"# error: {exc}", file=sys.stderr)
+                log.error(f"# error: {exc}")
                 return 2
             print(report.render_text())
-            print(
+            log.info(
                 f"# executor: jobs={executor.jobs} "
                 f"{executor.stats.merge_line()}"
             )
             if args.report_out is not None:
                 report.to_json(args.report_out)
-                print(f"# report written to {args.report_out}")
+                log.info(f"# report written to {args.report_out}")
             return 1 if report.status == FAIL else 0
     finally:
         set_default_executor(previous_executor)
+
+
+def _main_obs(args, parser: argparse.ArgumentParser) -> int:
+    from .obs import build_report
+
+    if args.store is None and args.trend is None:
+        parser.error("obs report needs --store and/or --trend")
+    if args.top < 1:
+        parser.error("--top must be >= 1")
+    report = build_report(
+        store=args.store,
+        resources=args.resources,
+        trend=args.trend,
+        top=args.top,
+    )
+    markdown = report.to_markdown()
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+            if not markdown.endswith("\n"):
+                handle.write("\n")
+        log.info(f"# report written to {args.out}")
+    else:
+        print(markdown)
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(report.to_html())
+        log.info(f"# html written to {args.html}")
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(quiet=args.quiet, verbose=args.verbose)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():
@@ -849,6 +1012,8 @@ def main(argv: Optional[list] = None) -> int:
         return _main_validate(args, parser)
     if args.command == "scenario":
         return _main_scenario(args, parser)
+    if args.command == "obs":
+        return _main_obs(args, parser)
     return _main_run(args, parser)
 
 

@@ -45,10 +45,17 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.spans import maybe_span
 from .faults import RunFailure, maybe_inject_fault
 from .specs import RunSpec, resolve_workload, stable_hash
+
+try:  # per-process peak RSS; stdlib on Unix, absent on Windows
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-Unix fallback
+    _resource = None
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -57,6 +64,7 @@ __all__ = [
     "ExecutorStats",
     "Executor",
     "ResultCache",
+    "SpecAttribution",
     "default_cache_dir",
     "execute_spec",
     "get_default_executor",
@@ -145,14 +153,58 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> Any:
     raise ValueError(f"unknown RunSpec kind {spec.kind!r}")
 
 
-def _guarded_execute(spec: RunSpec, attempt: int = 0) -> Any:
+def _max_rss_kb() -> Optional[int]:
+    """Peak RSS of this process in KiB (Linux units), or None off-Unix."""
+    if _resource is None:
+        return None
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _guarded_execute(
+    spec: RunSpec, attempt: int = 0, observe_spans: bool = False
+) -> Any:
     """Worker entry point: run a spec, converting any exception into a
     picklable :class:`RunFailure` so nothing propagates (or fails to
-    pickle) across the process boundary."""
+    pickle) across the process boundary.
+
+    Observability: the run is wrapped in a ``cell`` span and every outcome
+    that can carry attributes gets an ``_obs`` payload (wall seconds, peak
+    RSS, event count) which the parent pops at settle time -- so resource
+    attribution works identically in-process and across the spawn
+    boundary.  ``observe_spans`` activates a spans-only telemetry in a
+    worker process (which inherits none) so its span subtree can be
+    serialized into the payload and stitched into the parent's tree.
+    """
+    from ..telemetry.runtime import get_active, set_active
+
+    local_telemetry = None
+    if observe_spans and get_active() is None:
+        from ..telemetry.hub import Telemetry
+
+        local_telemetry = Telemetry(metrics=False, profile=False, spans=True)
+        set_active(local_telemetry)
+    wall_start = perf_counter()
     try:
-        return execute_spec(spec, attempt=attempt)
+        with maybe_span("cell", kind="cell", token=spec.token(),
+                        attempt=attempt):
+            outcome = execute_spec(spec, attempt=attempt)
     except Exception as exc:
-        return RunFailure.from_exception(spec, exc, attempts=attempt + 1)
+        outcome = RunFailure.from_exception(spec, exc, attempts=attempt + 1)
+    finally:
+        if local_telemetry is not None:
+            set_active(None)
+    obs: Dict[str, Any] = {
+        "wall_seconds": perf_counter() - wall_start,
+        "max_rss_kb": _max_rss_kb(),
+        "events": getattr(outcome, "events", None),
+    }
+    if local_telemetry is not None and local_telemetry.spans.roots:
+        obs["spans"] = local_telemetry.spans.to_list()
+    try:
+        outcome._obs = obs
+    except (AttributeError, TypeError):
+        pass  # frozen outcome (RunFailure): attribution degrades gracefully
+    return outcome
 
 
 # ------------------------------------------------------------------ cache
@@ -223,6 +275,46 @@ class ResultCache:
 
 
 @dataclass
+class SpecAttribution:
+    """Where one spec's resources went: the per-cell attribution record.
+
+    ``source`` is ``"run"`` (simulated this pass), ``"cache"`` (replayed
+    from the on-disk result cache) or ``"failed"`` (terminal failure).
+    ``wall_seconds``/``max_rss_kb`` come from the process that executed
+    the spec (worker or parent); ``events`` is the simulated event count.
+    """
+
+    token: str
+    source: str  # "run" | "cache" | "failed"
+    wall_seconds: Optional[float] = None
+    events: Optional[int] = None
+    max_rss_kb: Optional[int] = None
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "token": self.token,
+            "source": self.source,
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "max_rss_kb": self.max_rss_kb,
+            "attempts": self.attempts,
+        }
+
+
+def _take_obs(outcome: Any) -> Optional[Dict[str, Any]]:
+    """Pop a worker/inline ``_obs`` payload off an outcome (so it never
+    leaks into the result cache or figure code)."""
+    obs = getattr(outcome, "_obs", None)
+    if obs is not None:
+        try:
+            del outcome._obs
+        except (AttributeError, TypeError):
+            pass
+    return obs
+
+
+@dataclass
 class ExecutorStats:
     """Work accounting for one :class:`Executor` (cumulative)."""
 
@@ -273,6 +365,7 @@ class Executor:
         cache_dir: Optional[Path] = None,
         retries: int = 1,
         spec_timeout: Optional[float] = None,
+        progress: Optional[Any] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -288,6 +381,15 @@ class Executor:
         self.spec_timeout = spec_timeout
         self.stats = ExecutorStats()
         self.failures: List[RunFailure] = []
+        self.progress: Optional[Any] = progress
+        """A :class:`~repro.telemetry.progress.ProgressReporter` (or any
+        object with ``add_total``/``cell_done``/``retry``), or None."""
+        self.last_run_attribution: List[Optional[SpecAttribution]] = []
+        """Per-spec :class:`SpecAttribution` of the most recent
+        :meth:`run` call, in submission order (None for a slot the run
+        never settled, which cannot happen on a normal return)."""
+        self._spans_requested = False
+        self._attribution: List[Optional[SpecAttribution]] = []
 
     @classmethod
     def from_env(cls) -> "Executor":
@@ -318,31 +420,51 @@ class Executor:
         """
         specs = list(specs)
         self.stats.submitted += len(specs)
-        results: List[Any] = [None] * len(specs)
-        pending: List[int] = []
-        for index, spec in enumerate(specs):
-            if self.cache is not None:
-                hit, cached = self.cache.load(spec)
-                if hit:
-                    results[index] = cached
-                    self.stats.cache_hits += 1
-                    self._register_manifest(cached)
-                    continue
-            pending.append(index)
+        from ..telemetry.runtime import get_active
 
-        if not pending:
-            return results
-        self.stats.executed += len(pending)
-        # A wall-clock budget needs a process boundary to enforce, so a
-        # spec_timeout routes even jobs=1 through the pool.
-        use_pool = self.spec_timeout is not None or (
-            self.jobs > 1 and len(pending) > 1
+        telemetry = get_active()
+        self._spans_requested = (
+            telemetry is not None and getattr(telemetry, "spans", None) is not None
         )
-        if use_pool:
-            self._run_pool(specs, pending, results)
-        else:
-            for index in pending:
-                self._settle(specs, index, self._run_inline(specs[index]), results)
+        self._attribution = [None] * len(specs)
+        self.last_run_attribution = self._attribution
+        if self.progress is not None:
+            self.progress.add_total(len(specs))
+        with maybe_span("grid", kind="grid", specs=len(specs), jobs=self.jobs):
+            results: List[Any] = [None] * len(specs)
+            pending: List[int] = []
+            for index, spec in enumerate(specs):
+                if self.cache is not None:
+                    hit, cached = self.cache.load(spec)
+                    if hit:
+                        results[index] = cached
+                        self.stats.cache_hits += 1
+                        self._register_manifest(cached)
+                        events = getattr(cached, "events", None)
+                        self._attribution[index] = SpecAttribution(
+                            token=spec.token(), source="cache",
+                            wall_seconds=0.0, events=events,
+                        )
+                        if self.progress is not None:
+                            self.progress.cell_done("cache", events=None)
+                        continue
+                pending.append(index)
+
+            if not pending:
+                return results
+            self.stats.executed += len(pending)
+            # A wall-clock budget needs a process boundary to enforce, so a
+            # spec_timeout routes even jobs=1 through the pool.
+            use_pool = self.spec_timeout is not None or (
+                self.jobs > 1 and len(pending) > 1
+            )
+            if use_pool:
+                self._run_pool(specs, pending, results)
+            else:
+                for index in pending:
+                    self._settle(
+                        specs, index, self._run_inline(specs[index]), results
+                    )
         return results
 
     # ------------------------------------------------------------ in-process
@@ -353,12 +475,14 @@ class Executor:
         outcome: Any = None
         attempt = first_attempt
         while True:
-            outcome = _guarded_execute(spec, attempt)
+            outcome = _guarded_execute(spec, attempt, self._spans_requested)
             if not isinstance(outcome, RunFailure):
                 return outcome
             if attempt - first_attempt >= self.retries:
                 return outcome
             self.stats.retried += 1
+            if self.progress is not None:
+                self.progress.retry()
             attempt += 1
 
     # ----------------------------------------------------------------- pool
@@ -415,7 +539,8 @@ class Executor:
             index = queue.popleft()
             try:
                 future = pool.submit(
-                    _guarded_execute, specs[index], attempts[index]
+                    _guarded_execute, specs[index], attempts[index],
+                    self._spans_requested,
                 )
             except (BrokenProcessPool, RuntimeError):
                 # The pool broke before we noticed (a worker died between
@@ -511,6 +636,8 @@ class Executor:
         attempts[index] += 1
         if attempts[index] <= self.retries:
             self.stats.retried += 1
+            if self.progress is not None:
+                self.progress.retry()
             queue.append(index)
             return
         self._record_failure(outcome, index, results)
@@ -523,6 +650,8 @@ class Executor:
         attempts[index] += 1
         if attempts[index] <= self.retries:
             self.stats.retried += 1
+            if self.progress is not None:
+                self.progress.retry()
             queue.append(index)
             return
         self.stats.inline_fallbacks += 1
@@ -533,19 +662,50 @@ class Executor:
             self._settle(specs, index, outcome, results)
 
     def _settle(self, specs, index, outcome, results):
-        """Record a final outcome (success or failure) for one spec."""
+        """Record a final outcome (success or failure) for one spec.
+
+        The observability payload is popped off the outcome *before* it is
+        cached or handed to figure code; worker span subtrees are stitched
+        into the parent tracer here."""
         if isinstance(outcome, RunFailure):
             self._record_failure(outcome, index, results)
             return
+        obs = _take_obs(outcome)
         results[index] = outcome
         if self.cache is not None:
             self.cache.store(specs[index], outcome)
         self._register_manifest(outcome)
+        wall = obs.get("wall_seconds") if obs else None
+        events = (obs.get("events") if obs else None) or getattr(
+            outcome, "events", None
+        )
+        if 0 <= index < len(self._attribution):
+            self._attribution[index] = SpecAttribution(
+                token=specs[index].token(), source="run",
+                wall_seconds=wall, events=events,
+                max_rss_kb=obs.get("max_rss_kb") if obs else None,
+            )
+        if obs and obs.get("spans"):
+            from ..telemetry.runtime import get_active
+
+            telemetry = get_active()
+            tracer = getattr(telemetry, "spans", None) if telemetry else None
+            if tracer is not None:
+                tracer.adopt(obs["spans"])
+        if self.progress is not None:
+            self.progress.cell_done("ok", wall_seconds=wall, events=events)
 
     def _record_failure(self, failure: RunFailure, index, results) -> None:
         results[index] = failure
         self.failures.append(failure)
         self.stats.failed += 1
+        if 0 <= index < len(self._attribution):
+            self._attribution[index] = SpecAttribution(
+                token=failure.spec_key, source="failed",
+                attempts=failure.attempts,
+            )
+        if self.progress is not None:
+            self.progress.cell_done("failed")
         from ..telemetry.runtime import get_active
 
         telemetry = get_active()

@@ -64,6 +64,8 @@ class MicroscopicRun:
     query_fcts: List[float] = field(default_factory=list)
     query_timeouts: int = 0
     queries_completed: int = 0
+    events: int = 0
+    """Simulator events dispatched by this run (resource attribution)."""
 
     def metrics(self) -> Dict[str, float]:
         """The validation-gated microscopic statistics as a flat
@@ -106,54 +108,59 @@ def run_microscopic(
     jitter: float = us(300),
 ) -> MicroscopicRun:
     """One scheme's run: background long flows + one query burst."""
-    topo = build_incast(aqm_factory=aqm_factory, buffer_bytes=mb(1))
-    rng = np.random.default_rng(seed)
-    factory = PacketFactory()
-    profile = RttProfile.from_variation(rtt_min, variation)
-    network_rtt = estimate_star_network_rtt()
-    transport = TransportConfig(init_cwnd=init_cwnd)
+    from ...telemetry.spans import maybe_span
 
-    # Long-lived background flows from the first senders, base RTTs drawn
-    # from the variation profile (the small-RTT ones create the standing
-    # queue under a tail-RTT threshold).
-    from ...tcp.factory import open_flow
+    with maybe_span("setup", kind="engine"):
+        topo = build_incast(aqm_factory=aqm_factory, buffer_bytes=mb(1))
+        rng = np.random.default_rng(seed)
+        factory = PacketFactory()
+        profile = RttProfile.from_variation(rtt_min, variation)
+        network_rtt = estimate_star_network_rtt()
+        transport = TransportConfig(init_cwnd=init_cwnd)
 
-    for index in range(n_background):
-        sender = topo.senders[index]
-        handle = open_flow(
+        # Long-lived background flows from the first senders, base RTTs
+        # drawn from the variation profile (the small-RTT ones create the
+        # standing queue under a tail-RTT threshold).
+        from ...tcp.factory import open_flow
+
+        for index in range(n_background):
+            sender = topo.senders[index]
+            handle = open_flow(
+                topo.network,
+                factory,
+                sender,
+                topo.receiver,
+                background_bytes,
+                cc=transport.cc,
+                init_cwnd=transport.init_cwnd,
+                min_rto=transport.min_rto,
+            )
+            base_rtt = profile.sample_one(rng)
+            topo.stage_for(sender).set_flow_delay(
+                handle.flow_id, max(0.0, base_rtt - network_rtt)
+            )
+
+        monitor = QueueMonitor(
+            topo.sim, topo.bottleneck, interval=sample_interval, start=warmup,
+            stop=end_time,
+        )
+
+        collector = FctCollector()
+        launch_query(
             topo.network,
             factory,
-            sender,
+            topo.senders,
             topo.receiver,
-            background_bytes,
-            cc=transport.cc,
-            init_cwnd=transport.init_cwnd,
-            min_rto=transport.min_rto,
-        )
-        base_rtt = profile.sample_one(rng)
-        topo.stage_for(sender).set_flow_delay(
-            handle.flow_id, max(0.0, base_rtt - network_rtt)
+            fanout=fanout,
+            start_time=burst_time,
+            rng=rng,
+            transport=transport,
+            on_flow_complete=collector.record,
+            jitter=jitter,
         )
 
-    monitor = QueueMonitor(
-        topo.sim, topo.bottleneck, interval=sample_interval, start=warmup, stop=end_time
-    )
-
-    collector = FctCollector()
-    launch_query(
-        topo.network,
-        factory,
-        topo.senders,
-        topo.receiver,
-        fanout=fanout,
-        start_time=burst_time,
-        rng=rng,
-        transport=transport,
-        on_flow_complete=collector.record,
-        jitter=jitter,
-    )
-
-    topo.network.run(until=end_time)
+    with maybe_span("drain", kind="engine", clock=topo.sim):
+        topo.network.run(until=end_time)
 
     pre_burst = [
         (s.time, s.packets) for s in monitor.samples if s.time < burst_time
@@ -171,6 +178,7 @@ def run_microscopic(
         query_fcts=[r.fct for r in collector.records],
         query_timeouts=collector.total_timeouts(),
         queries_completed=len(collector.records),
+        events=topo.sim.events_processed,
     )
 
 

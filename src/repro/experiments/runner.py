@@ -23,6 +23,7 @@ from ..core.base import Aqm
 from ..netem.profiles import RttProfile
 from ..telemetry.provenance import RunManifest
 from ..telemetry.runtime import get_active
+from ..telemetry.spans import maybe_span
 from ..sim.packet import PacketFactory
 from ..sim.units import HEADER_SIZE, MTU, gbps, mb, us
 from ..topology.leafspine import build_leafspine
@@ -242,47 +243,49 @@ def run_star_fct(
     independent sampling -- the paper averages three runs instead).
     """
     wall_start = perf_counter()
-    topo = build_star(
-        n_senders=n_senders,
-        link_rate_bps=link_rate_bps,
-        link_delay=link_delay,
-        buffer_bytes=buffer_bytes,
-        aqm_factory=aqm_factory,
-    )
-    manifest = RunManifest.collect(
-        "run_star_fct",
-        seed=seed,
-        scheme=type(topo.switch.ports[0].aqm).__name__,
-        load=load,
-        n_flows=n_flows,
-        n_senders=n_senders,
-        variation=variation,
-        rtt_min=rtt_min,
-        link_rate_bps=link_rate_bps,
-        buffer_bytes=buffer_bytes,
-        rtt_shape=rtt_shape,
-    )
-    rng = np.random.default_rng(seed)
-    factory = PacketFactory()
-    collector = FctCollector()
-    profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
-    generator = PoissonTrafficGenerator(
-        network=topo.network,
-        factory=factory,
-        pair_picker=star_pair_picker(topo.senders, topo.receiver),
-        workload=workload,
-        load=load,
-        capacity_bps=link_rate_bps,
-        n_flows=n_flows,
-        rng=rng,
-        rtt_profile=profile,
-        network_rtt=estimate_star_network_rtt(link_rate_bps, link_delay),
-        delay_stage_of=topo.stage_for,
-        transport=transport,
-        on_flow_complete=collector.record,
-    )
-    generator.start()
-    _drain(topo.network, collector, n_flows)
+    with maybe_span("setup", kind="engine"):
+        topo = build_star(
+            n_senders=n_senders,
+            link_rate_bps=link_rate_bps,
+            link_delay=link_delay,
+            buffer_bytes=buffer_bytes,
+            aqm_factory=aqm_factory,
+        )
+        manifest = RunManifest.collect(
+            "run_star_fct",
+            seed=seed,
+            scheme=type(topo.switch.ports[0].aqm).__name__,
+            load=load,
+            n_flows=n_flows,
+            n_senders=n_senders,
+            variation=variation,
+            rtt_min=rtt_min,
+            link_rate_bps=link_rate_bps,
+            buffer_bytes=buffer_bytes,
+            rtt_shape=rtt_shape,
+        )
+        rng = np.random.default_rng(seed)
+        factory = PacketFactory()
+        collector = FctCollector()
+        profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
+        generator = PoissonTrafficGenerator(
+            network=topo.network,
+            factory=factory,
+            pair_picker=star_pair_picker(topo.senders, topo.receiver),
+            workload=workload,
+            load=load,
+            capacity_bps=link_rate_bps,
+            n_flows=n_flows,
+            rng=rng,
+            rtt_profile=profile,
+            network_rtt=estimate_star_network_rtt(link_rate_bps, link_delay),
+            delay_stage_of=topo.stage_for,
+            transport=transport,
+            on_flow_complete=collector.record,
+        )
+        generator.start()
+    with maybe_span("drain", kind="engine", clock=topo.network.sim):
+        _drain(topo.network, collector, n_flows)
     manifest.wall_seconds = perf_counter() - wall_start
     switch_ports = list(topo.switch.ports)
     return _result(switch_ports, topo.network, collector, manifest=manifest)
@@ -472,50 +475,52 @@ def run_leafspine_fct(
     """
     spines, leaves, hosts_per_leaf = dims
     wall_start = perf_counter()
-    topo = build_leafspine(
-        n_spines=spines,
-        n_leaves=leaves,
-        hosts_per_leaf=hosts_per_leaf,
-        link_rate_bps=link_rate_bps,
-        buffer_bytes=buffer_bytes,
-        aqm_factory=aqm_factory,
-        oversubscription=oversubscription,
-    )
-    manifest = RunManifest.collect(
-        "run_leafspine_fct",
-        seed=seed,
-        scheme=type(topo.spines[0].ports[0].aqm).__name__,
-        load=load,
-        n_flows=n_flows,
-        dims=dims,
-        variation=variation,
-        rtt_min=rtt_min,
-        link_rate_bps=link_rate_bps,
-        buffer_bytes=buffer_bytes,
-        rtt_shape=rtt_shape,
-        oversubscription=oversubscription,
-    )
-    rng = np.random.default_rng(seed)
-    factory = PacketFactory()
-    collector = FctCollector()
-    profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
-    generator = PoissonTrafficGenerator(
-        network=topo.network,
-        factory=factory,
-        pair_picker=any_to_any_pair_picker(topo.hosts),
-        workload=workload,
-        load=load,
-        capacity_bps=link_rate_bps * len(topo.hosts),
-        n_flows=n_flows,
-        rng=rng,
-        rtt_profile=profile,
-        network_rtt=estimate_star_network_rtt(link_rate_bps, us(2)) * 2.0,
-        delay_stage_of=topo.stage_for,
-        transport=transport,
-        on_flow_complete=collector.record,
-    )
-    generator.start()
-    _drain(topo.network, collector, n_flows)
+    with maybe_span("setup", kind="engine"):
+        topo = build_leafspine(
+            n_spines=spines,
+            n_leaves=leaves,
+            hosts_per_leaf=hosts_per_leaf,
+            link_rate_bps=link_rate_bps,
+            buffer_bytes=buffer_bytes,
+            aqm_factory=aqm_factory,
+            oversubscription=oversubscription,
+        )
+        manifest = RunManifest.collect(
+            "run_leafspine_fct",
+            seed=seed,
+            scheme=type(topo.spines[0].ports[0].aqm).__name__,
+            load=load,
+            n_flows=n_flows,
+            dims=dims,
+            variation=variation,
+            rtt_min=rtt_min,
+            link_rate_bps=link_rate_bps,
+            buffer_bytes=buffer_bytes,
+            rtt_shape=rtt_shape,
+            oversubscription=oversubscription,
+        )
+        rng = np.random.default_rng(seed)
+        factory = PacketFactory()
+        collector = FctCollector()
+        profile = RttProfile.from_variation(rtt_min, variation, shape=rtt_shape)
+        generator = PoissonTrafficGenerator(
+            network=topo.network,
+            factory=factory,
+            pair_picker=any_to_any_pair_picker(topo.hosts),
+            workload=workload,
+            load=load,
+            capacity_bps=link_rate_bps * len(topo.hosts),
+            n_flows=n_flows,
+            rng=rng,
+            rtt_profile=profile,
+            network_rtt=estimate_star_network_rtt(link_rate_bps, us(2)) * 2.0,
+            delay_stage_of=topo.stage_for,
+            transport=transport,
+            on_flow_complete=collector.record,
+        )
+        generator.start()
+    with maybe_span("drain", kind="engine", clock=topo.network.sim):
+        _drain(topo.network, collector, n_flows)
     manifest.wall_seconds = perf_counter() - wall_start
     fabric_ports = [
         port for switch in (topo.spines + topo.leaves) for port in switch.ports

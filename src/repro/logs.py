@@ -1,0 +1,62 @@
+"""CLI logging: a ``repro.*`` logger hierarchy that stays byte-compatible
+with the CLI's historical ``print`` diagnostics.
+
+Design constraints, in order:
+
+* **Byte-stable default output.**  Tests (and CI greps) assert exact
+  diagnostic lines on stdout/stderr, so the handler writes
+  ``record.getMessage()`` verbatim plus a newline -- no level prefix, no
+  timestamps, no formatting.
+* **capsys-friendly.**  ``sys.stdout``/``sys.stderr`` are looked up at
+  *emit* time, never cached, so pytest's stream swapping sees every line.
+* **Severity routing matches ``print``'s old file= choices**: INFO and
+  below go to stdout, WARNING and up to stderr.
+
+``configure_logging`` maps the CLI's ``--quiet``/``-v`` flags onto the
+``repro`` root logger's level: WARNING (quiet), INFO (default, exactly
+the historical output), DEBUG (verbose).  Idempotent -- repeated CLI
+invocations in one process (the test suite) never stack handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging"]
+
+
+class _StreamRouter(logging.Handler):
+    """Verbatim-message handler routing by severity to the *current*
+    ``sys.stdout`` / ``sys.stderr``."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = (
+                sys.stderr if record.levelno >= logging.WARNING
+                else sys.stdout
+            )
+            stream.write(record.getMessage() + "\n")
+        except Exception:  # pragma: no cover - mirror logging's contract
+            self.handleError(record)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` root logger, or a ``repro.<name>`` child."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def configure_logging(quiet: bool = False, verbose: int = 0) -> logging.Logger:
+    """Install the byte-stable handler and set the level from the CLI
+    flags (``--quiet`` wins over ``-v``)."""
+    root = get_logger()
+    if not any(isinstance(h, _StreamRouter) for h in root.handlers):
+        root.addHandler(_StreamRouter())
+    root.propagate = False
+    if quiet:
+        root.setLevel(logging.WARNING)
+    elif verbose > 0:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
+    return root

@@ -1,0 +1,13 @@
+"""Offline observability: campaign dashboards from stores and trend files.
+
+``repro obs report`` (and the library entry point
+:func:`~repro.obs.report.build_report`) turns a campaign's JSONL store,
+its resource sidecar, and the benchmark trend file into markdown/HTML
+dashboards with **zero simulations** -- everything is derived from data
+already on disk, so it is safe to run anywhere (CI artifact jobs, a
+laptop inspecting a store copied off a build machine).
+"""
+
+from .report import ObsReport, build_report
+
+__all__ = ["ObsReport", "build_report"]

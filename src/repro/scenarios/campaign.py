@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..experiments.executor import Executor, get_default_executor
 from ..telemetry.provenance import git_sha
 from ..telemetry.runtime import get_active
+from ..telemetry.spans import maybe_span
 from .compile import CompiledScenario, ScenarioCell, compile_scenario, summarize_cell
 from .schema import Scenario
 
@@ -99,10 +100,52 @@ class CellRecord:
 
 
 class CampaignStore:
-    """Append-only JSONL store of :class:`CellRecord` lines."""
+    """Append-only JSONL store of :class:`CellRecord` lines.
+
+    Resource attribution lives in a *sidecar* file next to the main store
+    (``campaign.resources.jsonl`` for ``campaign.jsonl``): cell records are
+    deliberately timestamp-free so a resumed campaign's store is
+    byte-identical to an uninterrupted one, and wall time / peak RSS are
+    exactly the nondeterminism that invariant excludes.  The sidecar is
+    append-only observability data -- consumers take the latest row per
+    ``(scenario, cell_key)`` -- and losing it never affects resume.
+    """
 
     def __init__(self, path: "Path | str") -> None:
         self.path = Path(path)
+
+    @property
+    def resources_path(self) -> Path:
+        return self.path.with_name(self.path.stem + ".resources.jsonl")
+
+    def append_resources(self, rows: Sequence[Dict[str, Any]]) -> None:
+        """Append per-cell resource rows to the sidecar (best-effort: the
+        sidecar is observability data, not campaign state)."""
+        if not rows:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.resources_path, "a", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(
+                    json.dumps(row, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+
+    def load_resources(self) -> List[Dict[str, Any]]:
+        """All readable sidecar rows, in append order (torn lines skipped)."""
+        rows: List[Dict[str, Any]] = []
+        if not self.resources_path.exists():
+            return rows
+        with open(self.resources_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return rows
 
     def load(self) -> Dict[RecordKey, CellRecord]:
         """Record index, latest record per key winning.  Unparseable lines
@@ -209,11 +252,35 @@ def _notify(scenario_name: str, cell_key: str, status: str) -> None:
         telemetry.on_campaign_cell(scenario_name, cell_key, status)
 
 
+def _cell_resources(
+    record: CellRecord, attribution: Sequence[Any], sha: Optional[str]
+) -> Dict[str, Any]:
+    """Aggregate one cell's per-spec attribution into a sidecar row."""
+    attrs = [a for a in attribution if a is not None]
+    wall = sum(a.wall_seconds for a in attrs if a.wall_seconds is not None)
+    events = sum(a.events for a in attrs if a.events is not None)
+    rss_values = [a.max_rss_kb for a in attrs if a.max_rss_kb is not None]
+    return {
+        "scenario": record.scenario,
+        "cell_key": record.cell_key,
+        "status": record.status,
+        "wall_seconds": round(wall, 6),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else None,
+        "max_rss_kb": max(rss_values) if rss_values else None,
+        "cache_hits": sum(1 for a in attrs if a.source == "cache"),
+        "executed_specs": sum(1 for a in attrs if a.source == "run"),
+        "failed_specs": sum(1 for a in attrs if a.source == "failed"),
+        "git_sha": sha,
+    }
+
+
 def run_campaign(
     scenarios: Sequence[Scenario],
     store: "CampaignStore | Path | str" = DEFAULT_STORE,
     executor: Optional[Executor] = None,
     max_cells: Optional[int] = None,
+    progress: Optional[Any] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign over ``scenarios``.
 
@@ -223,49 +290,86 @@ def run_campaign(
     process between shards loses nothing.  ``max_cells`` bounds how many
     pending cells this pass executes (the deterministic "kill after N
     cells" used by the resume tests); the next run picks up the rest.
+
+    ``progress`` is an optional
+    :class:`~repro.telemetry.progress.ProgressReporter` fed one unit per
+    *cell* (skipped / ok / failed, with each executed cell's wall time and
+    event count); the caller owns ``close()``.  When span tracing is
+    active the whole pass records a ``campaign`` span with per-scenario
+    compile spans and the executor's grid/cell spans nested inside.
+    Executed cells' resource attribution (wall seconds, events, peak RSS,
+    cache hits) is appended to the store's resources sidecar per shard.
     """
     if not isinstance(store, CampaignStore):
         store = CampaignStore(store)
     executor = executor or get_default_executor()
-    compiled = [compile_scenario(scenario) for scenario in scenarios]
-    index = store.load()
-    provenance = (git_sha(), _package_version())
-    result = CampaignResult(compiled=compiled)
+    with maybe_span("campaign", kind="campaign", scenarios=len(scenarios)):
+        compiled = []
+        for scenario in scenarios:
+            with maybe_span("compile", kind="scenario",
+                            scenario=scenario.name):
+                compiled.append(compile_scenario(scenario))
+        index = store.load()
+        provenance = (git_sha(), _package_version())
+        result = CampaignResult(compiled=compiled)
 
-    pending: List[Tuple[CompiledScenario, ScenarioCell]] = []
-    for comp in compiled:
-        scenario_hash = comp.scenario.content_hash()
-        for cell in comp.cells:
-            record = index.get((scenario_hash, tuple(cell.tokens())))
-            if record is not None and record.status == "ok":
+        pending: List[Tuple[CompiledScenario, ScenarioCell]] = []
+        skipped: List[Tuple[str, str]] = []
+        for comp in compiled:
+            scenario_hash = comp.scenario.content_hash()
+            for cell in comp.cells:
+                record = index.get((scenario_hash, tuple(cell.tokens())))
+                if record is not None and record.status == "ok":
+                    result.records.append(record)
+                    result.skipped_cells += 1
+                    skipped.append((comp.scenario.name, cell.key))
+                    _notify(comp.scenario.name, cell.key, "skipped")
+                else:
+                    pending.append((comp, cell))
+        if max_cells is not None:
+            pending = pending[:max_cells]
+        if progress is not None:
+            progress.add_total(len(skipped) + len(pending))
+            for _ in skipped:
+                progress.cell_done("skipped")
+
+        # One executor pass per shard: big enough to keep the pool
+        # saturated, small enough that a kill between shards forfeits
+        # little work.
+        shard_size = max(1, executor.jobs) * 4
+        for start in range(0, len(pending), shard_size):
+            shard = pending[start:start + shard_size]
+            flat = [spec for _, cell in shard for spec in cell.specs]
+            retried_before = executor.stats.retried
+            outcomes = executor.run(flat)
+            if progress is not None:
+                for _ in range(executor.stats.retried - retried_before):
+                    progress.retry()
+            attribution = executor.last_run_attribution
+            shard_records: List[CellRecord] = []
+            shard_resources: List[Dict[str, Any]] = []
+            cursor = 0
+            for comp, cell in shard:
+                runs = outcomes[cursor:cursor + len(cell.specs)]
+                cell_attrs = attribution[cursor:cursor + len(cell.specs)]
+                cursor += len(cell.specs)
+                record = _settle(comp, cell, runs, provenance)
+                shard_records.append(record)
                 result.records.append(record)
-                result.skipped_cells += 1
-                _notify(comp.scenario.name, cell.key, "skipped")
-            else:
-                pending.append((comp, cell))
-    if max_cells is not None:
-        pending = pending[:max_cells]
-
-    # One executor pass per shard: big enough to keep the pool saturated,
-    # small enough that a kill between shards forfeits little work.
-    shard_size = max(1, executor.jobs) * 4
-    for start in range(0, len(pending), shard_size):
-        shard = pending[start:start + shard_size]
-        flat = [spec for _, cell in shard for spec in cell.specs]
-        outcomes = executor.run(flat)
-        shard_records: List[CellRecord] = []
-        cursor = 0
-        for comp, cell in shard:
-            runs = outcomes[cursor:cursor + len(cell.specs)]
-            cursor += len(cell.specs)
-            record = _settle(comp, cell, runs, provenance)
-            shard_records.append(record)
-            result.records.append(record)
-            result.executed_cells += 1
-            if record.status == "failed":
-                result.failed_cells += 1
-            _notify(comp.scenario.name, cell.key, record.status)
-        store.append(shard_records)
+                result.executed_cells += 1
+                if record.status == "failed":
+                    result.failed_cells += 1
+                resources = _cell_resources(record, cell_attrs, provenance[0])
+                shard_resources.append(resources)
+                if progress is not None:
+                    progress.cell_done(
+                        "ok" if record.status == "ok" else "failed",
+                        wall_seconds=resources["wall_seconds"] or None,
+                        events=resources["events"] or None,
+                    )
+                _notify(comp.scenario.name, cell.key, record.status)
+            store.append(shard_records)
+            store.append_resources(shard_resources)
     return result
 
 
@@ -298,7 +402,24 @@ def render_store_report(
     for record in records:
         by_scenario.setdefault(record.scenario, []).append(record)
 
-    sections = []
+    # Aggregate counters in the telemetry registry's naming: cell outcomes
+    # and terminal run-failure kinds across every reported record.
+    status_counts: Dict[str, int] = {}
+    failure_kinds: Dict[str, int] = {}
+    for record in records:
+        status_counts[record.status] = status_counts.get(record.status, 0) + 1
+        for failure in record.failures:
+            kind = failure.get("kind", "unknown")
+            failure_kinds[kind] = failure_kinds.get(kind, 0) + 1
+    counter_lines = [
+        f'campaign_cells_total{{status="{status}"}} {count}'
+        for status, count in sorted(status_counts.items())
+    ] + [
+        f'run_failures_total{{kind="{kind}"}} {count}'
+        for kind, count in sorted(failure_kinds.items())
+    ]
+
+    sections = ["# counters\n" + "\n".join(counter_lines)]
     for name in sorted(by_scenario):
         group = sorted(by_scenario[name], key=lambda r: r.cell_key)
         metric_names = sorted({m for r in group for m in r.metrics})

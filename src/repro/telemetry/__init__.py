@@ -17,7 +17,15 @@ the zero-overhead-when-disabled contract.
 from .events import CATEGORIES, FlightRecorder, TraceEvent
 from .hub import Telemetry
 from .profiler import RunProfiler
+from .progress import (
+    JsonlHeartbeat,
+    ProgressReporter,
+    ProgressTracker,
+    TtyProgress,
+    make_progress,
+)
 from .provenance import RunManifest, git_sha
+from .spans import Span, SpanTracer, maybe_span
 from .registry import (
     FCT_US_BUCKETS,
     QUEUE_PKT_BUCKETS,
@@ -37,6 +45,14 @@ __all__ = [
     "RunProfiler",
     "RunManifest",
     "git_sha",
+    "Span",
+    "SpanTracer",
+    "maybe_span",
+    "ProgressTracker",
+    "ProgressReporter",
+    "TtyProgress",
+    "JsonlHeartbeat",
+    "make_progress",
     "FCT_US_BUCKETS",
     "QUEUE_PKT_BUCKETS",
     "Counter",

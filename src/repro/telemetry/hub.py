@@ -24,6 +24,7 @@ from .registry import (
     MetricsRegistry,
     Snapshotter,
 )
+from .spans import SpanTracer
 
 __all__ = ["Telemetry"]
 
@@ -42,6 +43,10 @@ class Telemetry:
         snapshot_interval: if set, sample per-port queue depth time series
             every this many *virtual* seconds.
         profile: attach a :class:`RunProfiler` to simulators.
+        spans: attach a :class:`~repro.telemetry.spans.SpanTracer` so the
+            campaign/grid/cell/engine-phase layers record a hierarchical
+            span tree (near-free when off: instrumented code checks for a
+            ``None`` tracer and allocates nothing).
     """
 
     def __init__(
@@ -53,6 +58,7 @@ class Telemetry:
         snapshot_interval: Optional[float] = None,
         snapshot_max_sims: int = 4,
         profile: bool = True,
+        spans: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.recorder: Optional[FlightRecorder] = (
@@ -61,6 +67,7 @@ class Telemetry:
             else None
         )
         self.profiler: Optional[RunProfiler] = RunProfiler() if profile else None
+        self.spans: Optional[SpanTracer] = SpanTracer() if spans else None
         self.metrics_enabled = metrics
         self.snapshot_interval = snapshot_interval
         self.snapshot_max_sims = snapshot_max_sims
@@ -293,4 +300,6 @@ class Telemetry:
             data["manifests"] = [m.to_dict() for m in self.manifests]
         if self.failures:
             data["failures"] = [f.to_dict() for f in self.failures]
+        if self.spans is not None and self.spans.roots:
+            data["spans"] = self.spans.to_list()
         return data

@@ -1,0 +1,231 @@
+"""Hierarchical span tracing with dual DES/wall clocks.
+
+A *span* is one timed region of campaign work -- campaign -> scenario ->
+grid (one executor pass) -> cell (one RunSpec) -> engine phases (setup /
+drain) -- carrying a wall-clock interval, an optional virtual-clock
+interval (when the region owns a :class:`~repro.sim.engine.Simulator`),
+and free-form attributes.  Spans nest: a :class:`SpanTracer` keeps an
+open-span stack and every new span becomes a child of the innermost open
+one, so a finished campaign yields a tree mirroring exactly where the
+wall time went.
+
+The contract with the hot paths mirrors the rest of the telemetry stack:
+
+* instrumented code calls :func:`maybe_span`, which returns a shared
+  no-op context manager when no tracer is active -- **no Span object is
+  allocated on the disabled path** (asserted by the tests via
+  ``Span.allocated``);
+* spans are per-cell / per-phase, never per-packet or per-event, so the
+  engine's dispatch loop is untouched.
+
+Cross-process stitching: worker processes (the executor's spawn pool)
+have no inherited telemetry.  The guarded worker entry point activates a
+spans-only telemetry when the parent requests it, serializes the
+resulting span tree (:meth:`Span.to_dict`) alongside the run's
+observability payload, and the parent grafts it under its own open grid
+span with :meth:`SpanTracer.adopt` when the result is settled -- so
+``jobs=1`` and ``jobs=N`` produce equivalent trees (up to sibling order,
+which follows completion order under a pool).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+from .runtime import get_active
+
+__all__ = ["Span", "SpanTracer", "maybe_span", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region: name, kind, dual clocks, attrs, children."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "attrs",
+        "pid",
+        "wall_start",
+        "wall_end",
+        "des_start",
+        "des_end",
+        "children",
+    )
+
+    allocated = 0
+    """Class-level allocation counter.  Exists solely so tests can assert
+    the disabled path allocates no spans; incremented in ``__init__``."""
+
+    def __init__(self, name: str, kind: str = "phase", **attrs: Any) -> None:
+        Span.allocated += 1
+        self.name = name
+        self.kind = kind
+        self.attrs: Dict[str, Any] = attrs
+        self.pid = os.getpid()
+        self.wall_start: float = 0.0
+        self.wall_end: Optional[float] = None
+        self.des_start: Optional[float] = None
+        self.des_end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def begin(self, clock: Any = None) -> "Span":
+        """Stamp the start of the region; ``clock`` is anything with a
+        ``.now`` virtual-time property (a Simulator)."""
+        self.wall_start = perf_counter()
+        if clock is not None:
+            self.des_start = clock.now
+        return self
+
+    def end(self, clock: Any = None) -> "Span":
+        self.wall_end = perf_counter()
+        if clock is not None:
+            self.des_end = clock.now
+        return self
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def des_seconds(self) -> Optional[float]:
+        if self.des_start is None or self.des_end is None:
+            return None
+        return self.des_end - self.des_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable nested dump (wall times as durations, so a
+        tree stitched across processes stays meaningful -- perf_counter
+        origins differ between processes)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "pid": self.pid,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.des_seconds is not None:
+            data["des_seconds"] = self.des_seconds
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a (finished) span tree from :meth:`to_dict` output."""
+        span = cls(data["name"], data.get("kind", "phase"),
+                   **data.get("attrs", {}))
+        span.pid = data.get("pid", span.pid)
+        span.wall_start = 0.0
+        wall = data.get("wall_seconds")
+        span.wall_end = wall if wall is not None else None
+        des = data.get("des_seconds")
+        if des is not None:
+            span.des_start = 0.0
+            span.des_end = des
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"children={len(self.children)})"
+        )
+
+
+class SpanTracer:
+    """Owns one process's span forest and the open-span stack."""
+
+    __slots__ = ("roots", "_stack")
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None at the top level."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(
+        self, name: str, kind: str = "phase", clock: Any = None, **attrs: Any
+    ) -> Iterator[Span]:
+        """Open a child of the current span for the enclosed block."""
+        span = Span(name, kind, **attrs)
+        parent = self.current()
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+        span.begin(clock)
+        try:
+            yield span
+        finally:
+            span.end(clock)
+            self._stack.pop()
+
+    def adopt(self, payloads: List[Dict[str, Any]]) -> None:
+        """Graft serialized span trees (from a worker process or a cache
+        sidecar) under the current span -- the stitching half of
+        cross-process tracing."""
+        target = self.current()
+        bucket = target.children if target is not None else self.roots
+        for payload in payloads:
+            bucket.append(Span.from_dict(payload))
+
+    # ------------------------------------------------------------ reporting
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.roots]
+
+    def count(self) -> int:
+        def walk(span: Span) -> int:
+            return 1 + sum(walk(child) for child in span.children)
+
+        return sum(walk(span) for span in self.roots)
+
+    def max_depth(self) -> int:
+        def depth(span: Span) -> int:
+            if not span.children:
+                return 1
+            return 1 + max(depth(child) for child in span.children)
+
+        return max((depth(span) for span in self.roots), default=0)
+
+    def summary_line(self) -> str:
+        return f"spans: {self.count()} recorded (max depth {self.max_depth()})"
+
+
+class _NullSpan:
+    """Shared, reentrant no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(name: str, kind: str = "phase", clock: Any = None, **attrs: Any):
+    """A span on the active tracer, or the shared no-op when tracing is
+    off.  The disabled cost is one active-telemetry load, one attribute
+    read and a shared-singleton return -- nothing is allocated."""
+    telemetry = get_active()
+    if telemetry is None:
+        return NULL_SPAN
+    tracer = getattr(telemetry, "spans", None)
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, kind=kind, clock=clock, **attrs)
