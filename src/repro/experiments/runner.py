@@ -203,6 +203,7 @@ def _result(
         drops += port.stats.dropped_total
     if manifest is not None:
         manifest.events = network.sim.events_processed
+        manifest.scheduler = network.sim.scheduler
         telemetry = get_active()
         if telemetry is not None:
             telemetry.add_manifest(manifest)

@@ -232,12 +232,15 @@ class ObsReport:
             if spark:
                 lines += [f"`{spark}` (oldest → newest events/sec)", ""]
             lines += self._md_table(
-                ["commit", "python", "cpus", "events/sec", "sweep speedup"],
+                ["commit", "python", "cpus", "events/sec", "pkt events/sec",
+                 "sweep speedup"],
                 [
                     [
                         (row.get("git_sha") or "-")[:12],
                         row.get("python"), row.get("cpu_count"),
-                        row.get("events_per_sec"), row.get("sweep_speedup"),
+                        row.get("events_per_sec"),
+                        row.get("packet_events_per_sec"),
+                        row.get("sweep_speedup"),
                     ]
                     for row in self.trend
                 ],

@@ -1,54 +1,50 @@
 """Discrete-event simulation engine.
 
-A :class:`Simulator` owns a monotonic virtual clock and a priority queue of
-pending events.  Events are plain ``(time, sequence, callback, args)`` tuples;
-the sequence number breaks ties so that events scheduled earlier run earlier,
-which keeps runs fully deterministic.
+A :class:`Simulator` owns a monotonic virtual clock and a pluggable event
+queue (see :mod:`repro.sim.eventq`).  The dispatch contract is a total
+order by ``(time, insertion sequence)``: earlier virtual times first, and
+among events carrying the same timestamp, the one scheduled first runs
+first -- which keeps runs fully deterministic regardless of which queue
+implementation is selected.
 
-Cancellable timers (used heavily by TCP retransmission logic) are provided by
-:class:`Timer`, which uses lazy cancellation: a cancelled or superseded firing
-is detected by a generation counter when the event pops, avoiding any need to
-remove entries from the middle of the heap.
+Two queues are available, selected by ``Simulator(scheduler=...)`` or the
+``REPRO_SCHEDULER`` environment variable: ``"calendar"`` (default, a lazy
+sorted-batch queue with O(1) amortized insert for the near-monotonic
+timestamps a network DES produces) and ``"heap"`` (the classic binary
+heap).  Both dispatch in byte-identical order.
+
+Cancellable timers (used heavily by TCP retransmission logic) are provided
+by :class:`Timer`.  A timer keeps at most a handful of queue entries alive
+no matter how often it is restarted: ``restart`` only schedules a wake-up
+when the new expiry is earlier than every outstanding one, and a wake-up
+that finds the deadline still in the future re-arms itself at the current
+expiry.  This turns the per-ACK ``restart(rto)`` pattern from one queue
+entry per ACK into about two per RTO interval.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from ..telemetry.profiler import HEAP_SAMPLE_MASK, RunProfiler
 from ..telemetry.runtime import get_active
+from .eventq import (
+    SCHEDULER_ENV,
+    SimulationError,
+    SimulationStalled,
+    make_event_queue,
+)
 
-__all__ = ["Simulator", "Timer", "SimulationError", "SimulationStalled"]
+__all__ = [
+    "Simulator",
+    "Timer",
+    "SimulationError",
+    "SimulationStalled",
+    "SCHEDULER_ENV",
+]
 
-
-class SimulationError(RuntimeError):
-    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
-
-
-class SimulationStalled(SimulationError):
-    """The event loop is stuck: the dispatch budget ran out with events
-    still pending (``reason="budget"``), or the loop dispatched
-    ``no_progress_limit`` consecutive events without the virtual clock
-    advancing (``reason="no-progress"``).
-
-    Carries the forensic state a failure record needs: the virtual clock,
-    the number of events dispatched by the stalled ``run()`` call, and the
-    heap size at the moment of the stall.
-    """
-
-    def __init__(
-        self, clock: float, events: int, pending: int, reason: str = "budget"
-    ) -> None:
-        self.clock = clock
-        self.events = events
-        self.pending = pending
-        self.reason = reason
-        super().__init__(
-            f"simulation stalled ({reason}): clock={clock:.9f}s after "
-            f"{events} events with {pending} events still pending"
-        )
+_INF = float("inf")
 
 
 class Simulator:
@@ -59,22 +55,25 @@ class Simulator:
         sim = Simulator()
         sim.schedule(0.001, callback, arg1, arg2)
         sim.run(until=1.0)
+
+    ``scheduler`` selects the event-queue implementation by name
+    (``"calendar"`` or ``"heap"``); when omitted, ``REPRO_SCHEDULER``
+    decides, defaulting to ``"calendar"``.  (This is the *event*
+    scheduler; packet schedulers -- FIFO/DWRR/strict-priority -- live in
+    :mod:`repro.sim.scheduler` and are per-port.)
+
+    ``schedule`` and ``schedule_at`` are instance attributes bound
+    directly to the queue's methods, so the per-event insert path has no
+    delegation layer on top of the queue itself.
     """
 
-    __slots__ = (
-        "_now",
-        "_heap",
-        "_sequence",
-        "_events_processed",
-        "_running",
-        "_profiler",
-    )
+    __slots__ = ("_q", "schedule", "schedule_at", "_running", "_profiler")
 
-    def __init__(self) -> None:
-        self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
-        self._sequence: int = 0
-        self._events_processed: int = 0
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        self._q = make_event_queue(scheduler)
+        # Direct bindings: sim.schedule(...) IS the queue's insert.
+        self.schedule: Callable[..., None] = self._q.schedule
+        self.schedule_at: Callable[..., None] = self._q.schedule_at
         self._running: bool = False
         telemetry = get_active()
         self._profiler: Optional[RunProfiler] = (
@@ -84,13 +83,26 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now
+        return self._q.now
+
+    @property
+    def scheduler(self) -> str:
+        """Name of the active event-queue implementation."""
+        return self._q.kind
 
     @property
     def events_processed(self) -> int:
-        """Number of events dispatched so far.  Updated per dispatch, so
-        monitors and profilers can read a live value mid-run."""
-        return self._events_processed
+        """Number of events dispatched so far.
+
+        With the ``"heap"`` scheduler this is updated per dispatch, so a
+        callback can observe a live value mid-run.  The ``"calendar"``
+        scheduler's fast drain path synchronizes it at batch boundaries
+        instead (that is where its throughput comes from); it is always
+        exact between ``run()`` calls, and exact per-event whenever a
+        profiler or ``no_progress_limit`` puts the engine on the
+        instrumented loop.
+        """
+        return self._q.events_processed
 
     @property
     def profiler(self) -> Optional[RunProfiler]:
@@ -104,22 +116,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (including lazily cancelled ones)."""
-        return len(self._heap)
-
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay}s in the past")
-        self.schedule_at(self._now + delay, callback, *args)
-
-    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback(*args)`` at absolute virtual time ``when``."""
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule at {when}, current time is {self._now}"
-            )
-        self._sequence += 1
-        heappush(self._heap, (when, self._sequence, callback, args))
+        return len(self._q)
 
     def run(
         self,
@@ -147,106 +144,92 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            heap = self._heap
-            pop = heappop  # local binding: dominant call in the hot loop
-            # ``_events_processed`` is incremented per dispatch (not batched
-            # at return) so monitors and the profiler can read a live value
-            # mid-run; the dispatch budget is tracked through it too, which
-            # keeps the loop at the same per-event op count either way.
-            start_events = self._events_processed
+            q = self._q
+            start_events = q.events_processed
             limit = None if max_events is None else start_events + max_events
             profiler = self._profiler
             if profiler is None and no_progress_limit is None:
-                if until is None:
-                    # The dominant path (run_until_idle): no horizon check,
-                    # and the budget folds into the loop condition.
-                    if limit is None:
-                        while heap:
-                            when, _, callback, args = pop(heap)
-                            self._now = when
-                            callback(*args)
-                            self._events_processed += 1
-                    else:
-                        while heap and self._events_processed < limit:
-                            when, _, callback, args = pop(heap)
-                            self._now = when
-                            callback(*args)
-                            self._events_processed += 1
-                else:
-                    while heap:
-                        when = heap[0][0]
-                        if when > until:
-                            break
-                        if limit is not None and self._events_processed >= limit:
-                            break
-                        when, _, callback, args = pop(heap)
-                        self._now = when
-                        callback(*args)
-                        self._events_processed += 1
+                # Fast path: the queue owns the dispatch loop.
+                q.drain(until, limit)
             else:
-                # Instrumented loop: profiler and/or no-progress detection.
-                wall_start = perf_counter()
-                virtual_start = self._now
-                peak_heap = len(heap)
-                last_clock = self._now
-                same_clock = 0
-                no_progress_stall = False
-                while heap:
-                    when = heap[0][0]
-                    if until is not None and when > until:
-                        break
-                    if limit is not None and self._events_processed >= limit:
-                        break
-                    when, _, callback, args = pop(heap)
-                    self._now = when
-                    callback(*args)
-                    self._events_processed += 1
-                    if no_progress_limit is not None:
-                        if when > last_clock:
-                            last_clock = when
-                            same_clock = 0
-                        else:
-                            same_clock += 1
-                            if same_clock >= no_progress_limit:
-                                no_progress_stall = True
-                                break
-                    if (
-                        profiler is not None
-                        and self._events_processed & HEAP_SAMPLE_MASK == 0
-                        and len(heap) > peak_heap
-                    ):
-                        peak_heap = len(heap)
-                if profiler is not None:
-                    profiler.record_run(
-                        events=self._events_processed - start_events,
-                        wall_seconds=perf_counter() - wall_start,
-                        virtual_seconds=self._now - virtual_start,
-                        peak_heap_depth=peak_heap,
-                    )
-                if no_progress_stall:
-                    raise SimulationStalled(
-                        clock=self._now,
-                        events=self._events_processed - start_events,
-                        pending=len(heap),
-                        reason="no-progress",
-                    )
+                self._run_instrumented(until, limit, profiler, no_progress_limit)
             if (
                 raise_on_stall
                 and limit is not None
-                and self._events_processed >= limit
-                and heap
-                and (until is None or heap[0][0] <= until)
+                and q.events_processed >= limit
+                and len(q)
             ):
-                raise SimulationStalled(
-                    clock=self._now,
-                    events=self._events_processed - start_events,
-                    pending=len(heap),
-                    reason="budget",
-                )
-            if until is not None and self._now < until:
-                self._now = until
+                head = q.peek_when()
+                if until is None or (head is not None and head <= until):
+                    raise SimulationStalled(
+                        clock=q.now,
+                        events=q.events_processed - start_events,
+                        pending=len(q),
+                        reason="budget",
+                    )
+            if until is not None and q.now < until:
+                q.now = until
         finally:
             self._running = False
+
+    def _run_instrumented(
+        self,
+        until: Optional[float],
+        limit: Optional[int],
+        profiler: Optional[RunProfiler],
+        no_progress_limit: Optional[int],
+    ) -> None:
+        """Per-event loop: profiler sampling and/or no-progress detection.
+
+        Uses the queue's single-event ``pop_due`` API, so both queue
+        implementations keep ``events_processed`` live here.
+        """
+        q = self._q
+        start_events = q.events_processed
+        until_bound = _INF if until is None else until
+        wall_start = perf_counter()
+        virtual_start = q.now
+        peak_depth = len(q)
+        last_clock = q.now
+        same_clock = 0
+        no_progress_stall = False
+        while True:
+            if limit is not None and q.events_processed >= limit:
+                break
+            event = q.pop_due(until_bound)
+            if event is None:
+                break
+            when = event[0]
+            event[1](*event[2])
+            if no_progress_limit is not None:
+                if when > last_clock:
+                    last_clock = when
+                    same_clock = 0
+                else:
+                    same_clock += 1
+                    if same_clock >= no_progress_limit:
+                        no_progress_stall = True
+                        break
+            if (
+                profiler is not None
+                and q.events_processed & HEAP_SAMPLE_MASK == 0
+                and len(q) > peak_depth
+            ):
+                peak_depth = len(q)
+        if profiler is not None:
+            profiler.record_run(
+                events=q.events_processed - start_events,
+                wall_seconds=perf_counter() - wall_start,
+                virtual_seconds=q.now - virtual_start,
+                peak_heap_depth=peak_depth,
+            )
+        if no_progress_stall:
+            raise SimulationStalled(
+                clock=q.now,
+                events=q.events_processed - start_events,
+                pending=len(q),
+                reason="no-progress",
+            )
 
     def run_until_idle(
         self,
@@ -259,7 +242,7 @@ class Simulator:
         Exhausting ``max_events`` with events still queued means the run
         did not reach idle -- by default that raises
         :class:`SimulationStalled` (with the clock, dispatch count and
-        heap size) instead of returning a silently truncated simulation.
+        queue depth) instead of returning a silently truncated simulation.
         """
         self.run(
             until=None,
@@ -273,18 +256,32 @@ class Timer:
     """A restartable one-shot timer bound to a :class:`Simulator`.
 
     ``restart`` supersedes any previously scheduled firing; ``cancel``
-    suppresses the pending firing.  Both are O(1): stale heap entries are
-    discarded when they pop by comparing generation counters.
+    suppresses the pending firing.  Both are O(1).
+
+    Implementation: deadline polling.  The timer keeps ``_wakes``, the
+    strictly-ascending times of its outstanding wake-up events, and
+    maintains one invariant -- *while armed, the earliest outstanding
+    wake-up is at or before the expiry*.  ``restart`` therefore only
+    schedules when the new expiry is earlier than every outstanding
+    wake-up (only then is the invariant at risk); a wake-up that arrives
+    early (because the deadline moved later after it was scheduled)
+    re-arms itself at the current expiry.  The firing time is exact: the
+    callback runs at precisely ``expiry``, never late, because a wake-up
+    exists at or before it and re-arming from there lands on it.
+
+    Compared to the seed's push-per-restart + generation-counter design,
+    the steady-state TCP pattern (``restart(rto)`` on every ACK) costs no
+    queue traffic at all until an RTO interval actually elapses.
     """
 
-    __slots__ = ("_sim", "_callback", "_generation", "_armed", "expiry")
+    __slots__ = ("_sim", "_callback", "_armed", "expiry", "_wakes")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim
         self._callback = callback
-        self._generation = 0
         self._armed = False
-        self.expiry: float = float("inf")
+        self.expiry: float = _INF
+        self._wakes: List[float] = []
 
     @property
     def armed(self) -> bool:
@@ -293,20 +290,31 @@ class Timer:
 
     def restart(self, delay: float) -> None:
         """(Re)schedule the timer ``delay`` seconds from now."""
-        self._generation += 1
         self._armed = True
-        self.expiry = self._sim.now + delay
-        self._sim.schedule(delay, self._fire, self._generation)
+        self.expiry = when = self._sim.now + delay
+        wakes = self._wakes
+        if not wakes or when < wakes[0]:
+            wakes.insert(0, when)
+            self._sim.schedule(delay, self._wake)
 
     def cancel(self) -> None:
-        """Suppress any pending firing."""
-        self._generation += 1
+        """Suppress any pending firing.  Outstanding wake-ups stay queued
+        and discard themselves when they pop (lazy cancellation)."""
         self._armed = False
-        self.expiry = float("inf")
+        self.expiry = _INF
 
-    def _fire(self, generation: int) -> None:
-        if generation != self._generation:
-            return  # superseded by restart() or cancel()
-        self._armed = False
-        self.expiry = float("inf")
-        self._callback()
+    def _wake(self) -> None:
+        wakes = self._wakes
+        del wakes[0]  # wake-ups pop in time order: this is the earliest
+        if not self._armed:
+            return
+        expiry = self.expiry
+        if expiry <= self._sim.now:
+            self._armed = False
+            self.expiry = _INF
+            self._callback()
+        elif not wakes or expiry < wakes[0]:
+            # Restore the invariant: no outstanding wake-up at or before
+            # the (moved-later) expiry, so plant one exactly there.
+            wakes.insert(0, expiry)
+            self._sim.schedule_at(expiry, self._wake)

@@ -2,6 +2,14 @@
 
 Packets are deliberately lightweight (``__slots__``, no dictionaries): a
 single experiment moves hundreds of thousands of them through the event loop.
+A free-list pool (:func:`acquire_packet` / :func:`release_packet`) lets the
+transport endpoints recycle them: a packet is acquired where it enters the
+network (sender segment construction, sink ACK construction) and released at
+its single consumption point (sink for data, sender for ACKs), so the
+steady-state allocation rate drops to the pool-miss rate.  Dropped packets
+are simply never released -- they fall to the garbage collector, which keeps
+the protocol trivially safe: nothing is ever recycled while still reachable
+from a queue, an in-flight event, or a telemetry hook.
 
 ECN state follows RFC 3168's IP codepoints plus the two TCP header flags the
 transports need (ECE on ACKs).  A packet whose flow negotiated ECN carries
@@ -10,9 +18,9 @@ transports need (ECE on ACKs).  A packet whose flow negotiated ECN carries
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-__all__ = ["Ecn", "Packet", "PacketFactory"]
+__all__ = ["Ecn", "Packet", "PacketFactory", "acquire_packet", "release_packet"]
 
 
 class Ecn:
@@ -113,6 +121,59 @@ class Packet:
             f"<Packet {kind} flow={self.flow_id} seq={self.seq} "
             f"size={self.size} ecn={self.ecn} {self.src}->{self.dst}>"
         )
+
+
+_pool: List[Packet] = []
+_POOL_MAX = 8192  # bounds idle memory; misses just allocate normally
+
+
+def acquire_packet(
+    flow_id: int,
+    src: str,
+    dst: str,
+    seq: int,
+    size: int,
+    is_ack: bool = False,
+    ecn: int = Ecn.ECT0,
+    ece: bool = False,
+    service: int = 0,
+) -> Packet:
+    """Return a fully (re)initialised packet, recycled when the pool has one.
+
+    Behaves exactly like the :class:`Packet` constructor (including the
+    positive-size validation); every slot is overwritten, so no state leaks
+    from the packet's previous life.
+    """
+    if not _pool:
+        return Packet(flow_id, src, dst, seq, size, is_ack, ecn, ece, service)
+    if size <= 0:
+        raise ValueError(f"packet size must be positive, got {size}")
+    packet = _pool.pop()
+    packet.flow_id = flow_id
+    packet.src = src
+    packet.dst = dst
+    packet.seq = seq
+    packet.size = size
+    packet.is_ack = is_ack
+    packet.ecn = ecn
+    packet.ece = ece
+    packet.service = service
+    packet.enqueue_time = -1.0
+    packet.sent_time = -1.0
+    packet.retransmission = False
+    return packet
+
+
+def release_packet(packet: Packet) -> None:
+    """Hand a consumed packet back to the pool.
+
+    Only call this at a packet's terminal consumption point -- after the
+    caller is done reading it and no queue, event, or observer can still
+    reach it.  Releasing is optional: packets that are dropped (or simply
+    never released) are collected normally.
+    """
+    if len(_pool) < _POOL_MAX:
+        _pool.append(packet)
 
 
 class PacketFactory:

@@ -10,11 +10,34 @@ hook and buffer admission) and kicks the loop if idle; each serialization
 completion hands the packet to the peer after the propagation delay and pulls
 the next packet (running the AQM's dequeue hook, where sojourn-time markers
 act).
+
+Ports with nothing to observe -- a ``NullAqm``, the plain FIFO scheduler and
+no telemetry attached (i.e. host NIC ports in every experiment) -- can take a
+closed-form fast path instead: because FIFO service at a fixed rate is just a
+running ``free_at`` clock, the delivery time of each packet is computable at
+admission (``start = max(free_at, now)``, ``done = start + serialization``),
+so one event delivers the packet and the serialization-completion event
+disappears.  Buffer admission stays exact via a lazy in-flight ledger that
+releases each packet's reservation once its service has started, which is the
+same instant the event-driven loop releases it.
+
+The fast path is **opt-in** (``REPRO_PORT_FAST=1``), off by default: every
+delivery lands at the float-identical instant, but the delivery event is
+*inserted* at admission time rather than at serialization-complete time, so
+its ``(time, insertion-sequence)`` tie-break against coincident events from
+other components differs from the event-driven loop's -- and a DES is
+chaotic, so a single reordered tie cascades into bit-level result drift
+(observed as a few per-mille difference in AQM mark counts at fig10 scale).
+Enable it for throughput studies where bit-reproducibility against the
+default event chain does not matter; it is skipped automatically the moment
+anything needs per-packet hooks.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Tuple
 
 from ..telemetry.runtime import dataplane_telemetry
 from .engine import Simulator
@@ -27,7 +50,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.base import Aqm
     from .network import Node
 
-__all__ = ["Port", "PortStats"]
+__all__ = ["Port", "PortStats", "PORT_FAST_ENV"]
+
+PORT_FAST_ENV = "REPRO_PORT_FAST"
+"""Set to ``1``/``true``/``on`` to let hook-free FIFO ports use the
+closed-form fast path.  Off by default: delivery *times* are float-identical
+but event insertion order is not, which perturbs same-timestamp tie-breaks
+and therefore bit-level reproducibility (see the module docstring)."""
+
+
+def _fast_path_enabled() -> bool:
+    return os.environ.get(PORT_FAST_ENV, "0").strip().lower() in (
+        "1",
+        "true",
+        "on",
+    )
 
 
 class PortStats:
@@ -69,6 +106,9 @@ class Port:
         "_busy",
         "on_drop",
         "telemetry",
+        "_fast",
+        "_free_at",
+        "_inflight",
     )
 
     def __init__(
@@ -105,53 +145,139 @@ class Port:
         self.telemetry = dataplane_telemetry()
         if self.telemetry is not None:
             self.telemetry.register_port(self)
+        # Fast-path state: eligibility is resolved lazily on the first send
+        # (after experiment wiring has installed AQMs/telemetry), and the
+        # in-flight ledger holds (service_start, service_done, size) triples
+        # whose buffer reservations are released once service has started.
+        self._fast: Optional[bool] = None
+        self._free_at = 0.0
+        self._inflight: Deque[Tuple[float, float, int]] = deque()
 
     # ------------------------------------------------------------- queueing
 
     @property
     def queue_bytes(self) -> int:
         """Instantaneous queue occupancy in bytes (all service queues)."""
+        if self._fast:
+            now = self.sim.now
+            return sum(entry[2] for entry in self._inflight if entry[0] > now)
         return self.scheduler.total_bytes
 
     @property
     def queue_packets(self) -> int:
         """Instantaneous queue occupancy in packets (all service queues)."""
+        if self._fast:
+            now = self.sim.now
+            return sum(1 for entry in self._inflight if entry[0] > now)
         return self.scheduler.total_packets
+
+    def _resolve_fast(self) -> bool:
+        """Decide once, at first send, whether this port can skip the
+        event-driven loop: nothing may need per-packet hooks."""
+        from ..core.base import NullAqm
+
+        fast = (
+            _fast_path_enabled()
+            and type(self.aqm) is NullAqm
+            and type(self.scheduler) is FifoScheduler
+            and self.telemetry is None
+        )
+        self._fast = fast
+        return fast
 
     def send(self, packet: Packet) -> None:
         """Admit a packet to the port: buffer check, AQM enqueue hook,
         enqueue, and start transmitting if the line is idle."""
+        fast = self._fast
+        if fast or (fast is None and self._resolve_fast()):
+            self._send_fast(packet)
+            return
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
         now = self.sim.now
+        telemetry = self.telemetry
         queue_bytes = self.scheduler.total_bytes
         if not self.buffer.try_reserve(packet.size):
             self.stats.dropped_overflow += 1
             if self.on_drop is not None:
                 self.on_drop(packet, "overflow")
-            if self.telemetry is not None:
-                self.telemetry.on_drop(self, packet, "overflow", now)
+            if telemetry is not None:
+                telemetry.on_drop(self, packet, "overflow", now)
             return
         if not self.aqm.on_enqueue(packet, now, queue_bytes):
             self.buffer.release(packet.size)
             self.stats.dropped_aqm += 1
             if self.on_drop is not None:
                 self.on_drop(packet, "aqm")
-            if self.telemetry is not None:
-                self.telemetry.on_drop(self, packet, "aqm", now)
+            if telemetry is not None:
+                telemetry.on_drop(self, packet, "aqm", now)
             return
         packet.enqueue_time = now
         self.scheduler.enqueue(packet)
         self.stats.enqueued_packets += 1
-        if self.telemetry is not None:
-            self.telemetry.on_enqueue(self, packet, now)
+        if telemetry is not None:
+            telemetry.on_enqueue(self, packet, now)
         if not self._busy:
             self._transmit_next()
+
+    def _send_fast(self, packet: Packet) -> None:
+        """Closed-form admission + delivery for hook-free FIFO ports.
+
+        Event-for-event equivalent of ``send`` + the transmit loop, minus
+        the serialization-completion event: the arithmetic is the *same
+        float operations* the event-driven loop performs (``start`` equals
+        the time the loop would have dequeued this packet; the delivery is
+        scheduled at ``done + propagation_delay`` exactly as
+        ``_transmission_complete`` would), so packet timings are
+        bit-identical.  What is *not* identical is the insertion moment of
+        the delivery event (admission vs serialization-complete), hence the
+        opt-in status -- see the module docstring.
+        """
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        sim = self.sim
+        now = sim.now
+        buffer = self.buffer
+        inflight = self._inflight
+        # Release reservations of packets whose service has started -- the
+        # instant the event loop's dequeue would have released them.
+        while inflight and inflight[0][0] <= now:
+            buffer.release(inflight.popleft()[2])
+        size = packet.size
+        if not buffer.try_reserve(size):
+            self.stats.dropped_overflow += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "overflow")
+            return
+        self.aqm.stats.packets_seen += 1  # NullAqm.on_enqueue, inlined
+        packet.enqueue_time = now
+        self.stats.enqueued_packets += 1
+        free_at = self._free_at
+        start = free_at if free_at > now else now
+        done = start + transmission_delay(size, self.rate_bps)
+        self._free_at = done
+        inflight.append((start, done, size))
+        sim.schedule_at(done + self.propagation_delay, self._deliver_fast, packet)
+
+    def _deliver_fast(self, packet: Packet) -> None:
+        """Delivery event of the fast path: settle the ledger (this packet's
+        own service has started by now, so the buffer drains to zero once the
+        port goes idle), count the transmission, and hand over to the peer."""
+        now = self.sim.now
+        buffer = self.buffer
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= now:
+            buffer.release(inflight.popleft()[2])
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += packet.size
+        self.peer.receive(packet)  # type: ignore[union-attr]
 
     # --------------------------------------------------------- transmit loop
 
     def _transmit_next(self) -> None:
         now = self.sim.now
+        telemetry = self.telemetry
         while True:
             packet = self.scheduler.dequeue()
             if packet is None:
@@ -163,11 +289,11 @@ class Port:
                 self.stats.dropped_aqm += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, "aqm")
-                if self.telemetry is not None:
-                    self.telemetry.on_drop(self, packet, "aqm", now)
+                if telemetry is not None:
+                    telemetry.on_drop(self, packet, "aqm", now)
                 continue
-            if self.telemetry is not None:
-                self.telemetry.on_dequeue(self, packet, now)
+            if telemetry is not None:
+                telemetry.on_dequeue(self, packet, now)
             self._busy = True
             delay = transmission_delay(packet.size, self.rate_bps)
             self.sim.schedule(delay, self._transmission_complete, packet)

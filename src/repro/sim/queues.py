@@ -16,14 +16,21 @@ __all__ = ["PacketQueue", "BufferPool"]
 
 
 class PacketQueue:
-    """A FIFO of packets with constant-time byte/packet length queries."""
+    """A FIFO of packets with constant-time byte/packet length queries.
 
-    __slots__ = ("_packets", "_bytes", "service")
+    The deque's ``append``/``popleft`` are bound once at construction --
+    ``push``/``pop`` sit on the per-packet path of every event-driven port,
+    and the cached bindings skip an attribute lookup per call.
+    """
+
+    __slots__ = ("_packets", "_bytes", "service", "_append", "_popleft")
 
     def __init__(self, service: int = 0) -> None:
         self._packets: Deque[Packet] = deque()
         self._bytes = 0
         self.service = service
+        self._append = self._packets.append
+        self._popleft = self._packets.popleft
 
     def __len__(self) -> int:
         return len(self._packets)
@@ -43,14 +50,14 @@ class PacketQueue:
 
     def push(self, packet: Packet) -> None:
         """Append a packet to the tail."""
-        self._packets.append(packet)
+        self._append(packet)
         self._bytes += packet.size
 
     def pop(self) -> Packet:
         """Remove and return the head packet."""
         if not self._packets:
             raise IndexError("pop from empty PacketQueue")
-        packet = self._packets.popleft()
+        packet = self._popleft()
         self._bytes -= packet.size
         return packet
 

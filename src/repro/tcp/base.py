@@ -25,7 +25,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..sim.engine import Simulator, Timer
 from ..sim.network import Host
-from ..sim.packet import Ecn, Packet
+from ..sim.packet import Ecn, Packet, acquire_packet, release_packet
 from ..sim.units import HEADER_SIZE, MSS, ms
 from ..telemetry.runtime import dataplane_telemetry
 
@@ -162,7 +162,7 @@ class TcpSender:
         return self.mss
 
     def _make_segment(self, seq: int, retransmission: bool) -> Packet:
-        packet = Packet(
+        packet = acquire_packet(
             flow_id=self.flow_id,
             src=self.src,
             dst=self.dst,
@@ -213,7 +213,10 @@ class TcpSender:
     # ----------------------------------------------------------- receiving
 
     def receive(self, packet: Packet) -> None:
-        if not packet.is_ack or self.completed:
+        if not packet.is_ack:
+            return
+        if self.completed:
+            release_packet(packet)  # ACK for an already-finished flow
             return
         self.stats.acks_received += 1
         if packet.ece:
@@ -230,6 +233,8 @@ class TcpSender:
         elif ack == self.highest_acked and self.send_next > ack:
             self._handle_dup_ack()
         self._try_send()
+        # The sender is the ACK's terminal consumer: recycle it.
+        release_packet(packet)
 
     def _handle_new_ack(self, ack: int, newly_acked: int) -> None:
         self._sample_rtt(ack)

@@ -13,7 +13,7 @@ from typing import Callable, Optional, Set
 
 from ..sim.engine import Simulator
 from ..sim.network import Host
-from ..sim.packet import Ecn, Packet
+from ..sim.packet import Ecn, Packet, acquire_packet, release_packet
 from ..sim.units import ACK_SIZE
 
 __all__ = ["TcpSink"]
@@ -91,8 +91,11 @@ class TcpSink:
             # sender can terminate cleanly; the host drops packets for flows
             # only after the sender unregisters its side.
 
+        # The sink is the data packet's terminal consumer: recycle it.
+        release_packet(packet)
+
     def _send_ack(self, ece: bool) -> None:
-        ack = Packet(
+        ack = acquire_packet(
             flow_id=self.flow_id,
             src=self.host.name,
             dst=self.src,

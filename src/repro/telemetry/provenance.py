@@ -67,6 +67,8 @@ class RunManifest:
     started_unix: float = 0.0
     wall_seconds: Optional[float] = None
     events: Optional[int] = None
+    scheduler: Optional[str] = None
+    """Event-queue implementation the run used (``repro.sim.eventq``)."""
 
     @classmethod
     def collect(

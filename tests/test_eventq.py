@@ -1,0 +1,308 @@
+"""Equivalence tests for the pluggable event queues (``repro.sim.eventq``).
+
+The engine's dispatch contract is a total order by ``(time, insertion
+sequence)``.  The calendar queue earns its throughput with lazy batch
+sorting, straggler inserts into the live batch, and a heap fallback --
+none of which may change *what* gets dispatched *when*.  Every test here
+runs the identical workload through both queues and demands identical
+traces: same callbacks, same order, same clock readings, under timestamp
+ties, stragglers, ``until``/``max_events`` boundaries, Timer lazy
+cancellation, and the fallback itself.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.eventq import (
+    FALLBACK_MIN_STRAGGLERS,
+    SCHEDULER_ENV,
+    SCHEDULER_NAMES,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+    resolve_scheduler,
+)
+
+SCHEDULERS = list(SCHEDULER_NAMES)
+
+
+class TestResolution:
+    def test_explicit_names(self):
+        assert resolve_scheduler("calendar") == "calendar"
+        assert resolve_scheduler("heap") == "heap"
+        assert resolve_scheduler(" HEAP ") == "heap"
+
+    def test_unknown_explicit_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler("btree")
+
+    def test_default_is_calendar(self, monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+        assert resolve_scheduler() == "calendar"
+        assert Simulator().scheduler == "calendar"
+
+    def test_env_var_selects_heap(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "heap")
+        assert Simulator().scheduler == "heap"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "heap")
+        assert Simulator(scheduler="calendar").scheduler == "calendar"
+
+    def test_garbage_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "splay-tree")
+        with pytest.warns(UserWarning, match="splay-tree"):
+            assert resolve_scheduler() == "calendar"
+
+    def test_factory_returns_matching_kind(self):
+        assert isinstance(make_event_queue("heap"), HeapEventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+
+
+# --------------------------------------------------------------- trace rig
+
+
+def _run_trace(scheduler, seed, n_initial=32, until=None, max_events=2000):
+    """Drive a randomized self-scheduling workload and record the dispatch
+    trace.  The RNG is consumed inside callbacks, so the trace (and the
+    RNG stream itself) only matches across queues if the dispatch order
+    matches exactly -- any divergence amplifies immediately.
+    """
+    sim = Simulator(scheduler=scheduler)
+    rng = random.Random(seed)
+    trace = []
+    counter = [0]
+    # 0.0 and tiny delays force same-timestamp ties and stragglers
+    # (inserts that land inside the calendar queue's active batch).
+    delays = [0.0, 1e-9, 1e-7, 1e-7, 1e-6, 1e-6, 5e-6, 1e-4]
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        for _ in range(rng.randrange(3)):
+            counter[0] += 1
+            sim.schedule(rng.choice(delays), fire, counter[0])
+
+    for index in range(n_initial):
+        sim.schedule(rng.choice([1e-6, 2e-6, 2e-6, 3e-6]), fire, -index)
+    sim.run(until=until, max_events=max_events)
+    return trace, sim.events_processed, sim.now
+
+
+class TestHeapCalendarEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_identical_dispatch_trace(self, seed):
+        heap = _run_trace("heap", seed)
+        calendar = _run_trace("calendar", seed)
+        assert calendar == heap
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_identical_trace_with_until_horizon(self, seed):
+        heap = _run_trace("heap", seed, until=4e-6, max_events=None)
+        calendar = _run_trace("calendar", seed, until=4e-6, max_events=None)
+        assert calendar == heap
+
+    def test_same_timestamp_ties_fifo_across_queues(self):
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            order = []
+            # Interleave two timestamps; ties must dispatch in scheduling
+            # order regardless of interleaving.
+            for index in range(50):
+                sim.schedule(1e-6, order.append, ("a", index))
+                sim.schedule(2e-6, order.append, ("b", index))
+            sim.run()
+            expected = [("a", i) for i in range(50)] + [
+                ("b", i) for i in range(50)
+            ]
+            assert order == expected, scheduler
+
+    def test_until_is_inclusive_and_resumable(self):
+        traces = {}
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            trace = []
+
+            def fire(tag, sim=sim, trace=trace):
+                trace.append((sim.now, tag))
+                if tag < 40:
+                    sim.schedule(1e-6, fire, tag + 2)
+
+            sim.schedule(1e-6, fire, 0)
+            sim.schedule(2e-6, fire, 1)
+            sim.run(until=5e-6)  # inclusive: the event AT 5e-6 runs
+            cut = len(trace)
+            assert trace and trace[-1][0] == pytest.approx(5e-6)
+            assert sim.now == 5e-6
+            sim.run()  # resume to idle
+            traces[scheduler] = (cut, trace)
+        assert traces["calendar"] == traces["heap"]
+
+    def test_max_events_stepping_matches_one_shot(self):
+        """Draining in small max_events steps must visit the same trace as
+        one uninterrupted run -- exercises counter sync and batch-boundary
+        resume in the calendar queue."""
+        full = _run_trace("calendar", seed=7, max_events=1500)[0]
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            rng = random.Random(7)
+            trace = []
+            counter = [0]
+            delays = [0.0, 1e-9, 1e-7, 1e-7, 1e-6, 1e-6, 5e-6, 1e-4]
+
+            def fire(tag, sim=sim, rng=rng, trace=trace, counter=counter):
+                trace.append((sim.now, tag))
+                for _ in range(rng.randrange(3)):
+                    counter[0] += 1
+                    sim.schedule(rng.choice(delays), fire, counter[0])
+
+            for index in range(32):
+                sim.schedule(rng.choice([1e-6, 2e-6, 2e-6, 3e-6]), fire, -index)
+            while sim.events_processed < 1500 and sim.pending_events:
+                sim.run(max_events=min(37, 1500 - sim.events_processed))
+            assert trace == full, scheduler
+
+    def test_pending_events_agree(self):
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            for index in range(10):
+                sim.schedule(1e-6 * (index + 1), lambda: None)
+            assert sim.pending_events == 10, scheduler
+            sim.run(until=5e-6)
+            assert sim.pending_events == 5, scheduler
+            sim.run()
+            assert sim.pending_events == 0, scheduler
+
+
+class TestTimerInterplay:
+    """Timer's deadline-polling leaves stale wake-ups in the queue; they
+    must be inert on both queues and the firing time must be exact."""
+
+    def _rto_pattern(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        # ACK-clocked restarts: push the deadline out 20 times, then go
+        # quiet and let the RTO elapse.
+        for index in range(20):
+            sim.schedule(index * 1e-4, timer.restart, 3e-4)
+        sim.run()
+        return fired, sim.events_processed, sim.now
+
+    def test_restart_pattern_fires_identically(self):
+        assert self._rto_pattern("calendar") == self._rto_pattern("heap")
+
+    def test_late_cancel_suppresses_on_both(self):
+        for scheduler in SCHEDULERS:
+            sim = Simulator(scheduler=scheduler)
+            fired = []
+            timer = Timer(sim, lambda: fired.append(sim.now))
+            timer.restart(1e-3)
+            sim.schedule(9e-4, timer.cancel)  # just before expiry
+            sim.run()
+            assert fired == [], scheduler
+            assert sim.pending_events == 0, scheduler
+
+    def test_cancel_restart_storm_matches(self):
+        def storm(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            fired = []
+            timer = Timer(sim, lambda: fired.append(sim.now))
+            rng = random.Random(13)
+
+            def churn(step):
+                action = rng.randrange(3)
+                if action == 0:
+                    timer.restart(rng.choice([1e-4, 2e-4, 5e-4]))
+                elif action == 1:
+                    timer.cancel()
+                if step < 60:
+                    sim.schedule(rng.choice([5e-5, 1e-4]), churn, step + 1)
+
+            sim.schedule(0.0, churn, 0)
+            sim.run()
+            return fired, sim.events_processed
+
+        assert storm("calendar") == storm("heap")
+
+
+class TestHeapFallback:
+    def _straggler_storm(self, scheduler, n=FALLBACK_MIN_STRAGGLERS + 200):
+        """Every dispatch schedules another event far inside the active
+        batch window: the pathological case the fallback exists for."""
+        sim = Simulator(scheduler=scheduler)
+        trace = []
+
+        def gnaw(step):
+            trace.append((sim.now, step))
+            if step == 0:
+                # Beyond the horizon: lands in the far tier, so batch
+                # formation (the fallback decision point) actually runs
+                # once the straggler storm subsides.
+                sim.schedule_at(2.0, trace.append, (2.0, "tail"))
+            if step < n:
+                sim.schedule(1e-9, gnaw, step + 1)
+
+        # The distant sentinel pins the batch horizon far out, making
+        # every 1ns self-reschedule a straggler.
+        sim.schedule(1.0, trace.append, (1.0, "sentinel"))
+        sim.schedule(1e-9, gnaw, 0)
+        sim.run()
+        return trace, sim.events_processed, sim.now
+
+    def test_fallback_triggers_and_order_is_preserved(self):
+        heap = self._straggler_storm("heap")
+        calendar = self._straggler_storm("calendar")
+        assert calendar == heap
+
+    def test_fallback_engages_internally(self):
+        sim = Simulator(scheduler="calendar")
+
+        def gnaw(step):
+            if step == 0:
+                sim.schedule_at(2.0, lambda: None)  # far-tier tail
+            if step < FALLBACK_MIN_STRAGGLERS + 200:
+                sim.schedule(1e-9, gnaw, step + 1)
+
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1e-9, gnaw, 0)
+        sim.run()
+        assert sim._q._heap is not None  # converted, and still drained fine
+        assert sim.scheduler == "calendar"  # reported kind is unchanged
+        assert sim.pending_events == 0
+
+    def test_post_fallback_scheduling_still_ordered(self):
+        q = make_event_queue("calendar")
+        q._convert_to_heap()
+        order = []
+        q.schedule(2e-6, order.append, "b")
+        q.schedule(1e-6, order.append, "a")
+        q.schedule(2e-6, order.append, "c")  # tie with "b": FIFO
+        q.drain(None, None)
+        assert order == ["a", "b", "c"]
+
+
+class TestFigureEquivalence:
+    def test_fig10_cell_bit_identical_across_schedulers(self, monkeypatch):
+        """A full microscopic incast cell (topology, DCTCP, RED, monitors)
+        must produce byte-identical metrics under either queue."""
+        from repro.experiments.executor import Executor
+        from repro.experiments.figures import fig10
+
+        cells = {}
+        for scheduler in SCHEDULERS:
+            monkeypatch.setenv(SCHEDULER_ENV, scheduler)
+            result = fig10.run_fig10(
+                fanout=20,
+                schemes=("DCTCP-RED-Tail",),
+                executor=Executor(jobs=1),
+            )
+            summary = fig10.summarize_for_validation(result)
+            cells[scheduler] = summary["cells"]
+        assert cells["calendar"] == cells["heap"]
+        assert cells["calendar"]  # non-empty: the run actually happened
