@@ -15,7 +15,10 @@ Usage::
     python -m repro scenario list scenarios/
     python -m repro scenario check scenarios/
     python -m repro scenario run scenarios/fig6_websearch.toml --store campaign.jsonl
+    python -m repro scenario run scenarios/ --store shared.jsonl --shared
+    python -m repro scenario merge a.jsonl b.jsonl --out merged.jsonl
     python -m repro scenario report --store campaign.jsonl
+    python -m repro cache gc --max-bytes 512M --max-age 604800
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
 experiments accept a ``--seed`` for reproducibility.  ``--jobs N`` (or
@@ -47,6 +50,13 @@ section): ``list``/``check`` inspect and validate them without simulating,
 ``run`` executes one file or a directory as a resumable campaign appending
 each finished cell to a crash-safe JSONL store (rerunning skips completed
 cells), and ``report`` renders per-scenario tables straight from the store.
+``run --shared`` lets N concurrent processes share one store (lease-based
+cell claiming under an advisory lock; a killed worker's cells are reclaimed
+after ``--lease-ttl``); ``merge`` combines N stores idempotently, failing
+hard when two ok records disagree; ``cache gc`` evicts result-cache entries
+by size/age and clears quarantined ``*.corrupt`` entries.  SIGINT/SIGTERM
+during ``scenario run`` finishes and appends the in-flight shard, then
+exits ``128+signum`` with the store fully resumable.
 ``--dry-run`` (on ``run`` and ``scenario run``) prints the resolved spec
 grid with per-cell cache status and exits without simulating.
 
@@ -241,6 +251,15 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "(default: REPRO_RETRIES or 1)",
     )
     parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay for deterministic seeded exponential backoff "
+        "between retry attempts, with jitter, capped at 30s (default: "
+        "REPRO_RETRY_BACKOFF or off; 0 disables)",
+    )
+    parser.add_argument(
         "--spec-timeout",
         type=float,
         default=None,
@@ -338,6 +357,17 @@ def _build_executor(args, parser: argparse.ArgumentParser) -> Executor:
             parser.error(f"REPRO_RETRIES={raw_retries!r} is not an integer")
     if retries < 0:
         parser.error("--retries must be >= 0")
+    retry_backoff = args.retry_backoff
+    if retry_backoff is None:
+        raw_backoff = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+        try:
+            retry_backoff = float(raw_backoff) if raw_backoff else None
+        except ValueError:
+            parser.error(
+                f"REPRO_RETRY_BACKOFF={raw_backoff!r} is not a number"
+            )
+    if retry_backoff is not None and retry_backoff <= 0:
+        retry_backoff = None  # 0 / negative = explicitly off
     spec_timeout = args.spec_timeout
     if spec_timeout is None:
         raw_timeout = os.environ.get("REPRO_SPEC_TIMEOUT", "").strip()
@@ -353,6 +383,7 @@ def _build_executor(args, parser: argparse.ArgumentParser) -> Executor:
         cache=not args.no_cache,
         cache_dir=cache_dir,
         retries=retries,
+        retry_backoff=retry_backoff,
         spec_timeout=spec_timeout,
     )
 
@@ -537,8 +568,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the compiled cell/spec grid with per-spec cache status "
         "and exit without simulating",
     )
+    s_run.add_argument(
+        "--shared",
+        action="store_true",
+        help="multi-writer mode: claim pending cells through lease records "
+        "under the store's advisory lock, so any number of concurrent "
+        "'scenario run --shared' processes can share one store",
+    )
+    s_run.add_argument(
+        "--worker-id",
+        metavar="ID",
+        default=None,
+        help="worker identity for --shared lease records (default: host:pid)",
+    )
+    s_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds before another worker may reclaim a claimed cell "
+        "(--shared; default: REPRO_LEASE_TTL or 60)",
+    )
+    s_run.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="how long to wait for the store lock before giving up "
+        "(--shared; default: 60)",
+    )
     _add_executor_args(s_run)
     _add_observability_args(s_run)
+
+    s_merge = scenario_sub.add_parser(
+        "merge",
+        help="merge N campaign stores into one canonical store "
+        "(idempotent; latest-ok-wins; hard error on ok/ok content conflict)",
+    )
+    s_merge.add_argument(
+        "stores", nargs="+", metavar="STORE",
+        help="input campaign store JSONL files",
+    )
+    s_merge.add_argument(
+        "--out",
+        metavar="PATH",
+        required=True,
+        help="output store path (atomically replaced; may be an input)",
+    )
 
     s_report = scenario_sub.add_parser(
         "report",
@@ -555,6 +631,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default="campaign.jsonl",
         help="campaign result store to read (default: campaign.jsonl)",
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="result-cache maintenance: eviction and quarantine cleanup",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    c_gc = cache_sub.add_parser(
+        "gc",
+        help="evict cache entries by size budget and/or age; removes "
+        "quarantined *.corrupt entries and stray write temps",
+    )
+    c_gc.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        default=None,
+        help="keep at most SIZE bytes of entries, newest first "
+        "(suffixes K/M/G, e.g. 512M)",
+    )
+    c_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict entries older than SECONDS",
+    )
+    c_gc.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    c_gc.add_argument(
+        "--keep-corrupt",
+        action="store_true",
+        help="keep quarantined *.corrupt entries for inspection",
     )
 
     obs = sub.add_parser(
@@ -687,6 +799,7 @@ def _main_run(args, parser: argparse.ArgumentParser) -> int:
         spans=args.spans or args.spans_out is not None,
     )
     manifest = RunManifest.collect(args.experiment, seed=seed, scale=scale)
+    manifest.retry_backoff = executor.retry_backoff
     progress, progress_stream = _build_progress(args)
     executor.progress = progress
 
@@ -789,6 +902,27 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
             return load_scenario_dir(path)
         return [(path, load_scenario(path))]
 
+    if args.scenario_command == "merge":
+        from .scenarios import MergeConflictError, merge_stores
+
+        for store_path in args.stores:
+            if not os.path.exists(store_path):
+                log.error(f"# error: no such store: {store_path}")
+                return 2
+        try:
+            merged = merge_stores(args.stores, output=args.out)
+        except MergeConflictError as exc:
+            log.error(f"# error: {exc}")
+            return 1
+        except OSError as exc:
+            log.error(f"# error: {exc}")
+            return 2
+        print(
+            f"# merge: {merged.summary_line()} "
+            f"({len(args.stores)} store(s) -> {args.out})"
+        )
+        return 0
+
     if args.scenario_command == "report":
         scenarios = None
         if args.path is not None:
@@ -869,20 +1003,37 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
         )
         return 0
 
+    if not args.shared:
+        for option in ("worker_id", "lease_ttl", "lock_timeout"):
+            if getattr(args, option) is not None:
+                parser.error(
+                    f"--{option.replace('_', '-')} requires --shared"
+                )
+
+    from .scenarios import GracefulShutdown, LockTimeout
+
     executor = _build_executor(args, parser)
     telemetry = Telemetry(spans=args.spans or args.spans_out is not None)
     progress, progress_stream = _build_progress(args)
     started = time.time()
     previous_executor = set_default_executor(executor)
     try:
-        with activate(telemetry):
+        with activate(telemetry), GracefulShutdown() as shutdown:
             result = run_campaign(
                 scenarios,
                 store=args.store,
                 executor=executor,
                 max_cells=args.max_cells,
                 progress=progress,
+                shared=args.shared,
+                worker_id=args.worker_id,
+                lease_ttl=args.lease_ttl,
+                lock_timeout=args.lock_timeout,
+                shutdown=shutdown,
             )
+    except LockTimeout as exc:
+        log.error(f"# error: {exc}")
+        return 1
     finally:
         set_default_executor(previous_executor)
         _finish_observability(args, telemetry, progress, progress_stream)
@@ -895,6 +1046,12 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
     log.info(f"# store: {args.store} ({len(result.records)} record(s) this pass)")
     if executor.failures:
         print(format_failure_table(executor.failures))
+    if result.interrupted:
+        log.error(
+            "# interrupted: current shard appended, store is resumable "
+            "(rerun the same command to continue)"
+        )
+        return 128 + (result.interrupt_signum or 2)
     settled = result.executed_cells + result.skipped_cells
     if settled and result.failed_cells >= settled:
         log.error("# error: every cell failed; no usable results")
@@ -969,6 +1126,44 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
         set_default_executor(previous_executor)
 
 
+def _parse_size(raw: str, parser: argparse.ArgumentParser, option: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (binary multiples)."""
+    text = raw.strip().upper()
+    multiplier = 1
+    for suffix, factor in (("K", 1024), ("M", 1024 ** 2), ("G", 1024 ** 3)):
+        if text.endswith(suffix):
+            multiplier = factor
+            text = text[: -len(suffix)]
+            break
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        parser.error(f"{option}: {raw!r} is not a size (try 512M, 2G, 1048576)")
+    if value < 0:
+        parser.error(f"{option} must be >= 0")
+    return value
+
+
+def _main_cache(args, parser: argparse.ArgumentParser) -> int:
+    from .experiments.executor import ResultCache
+
+    max_bytes = (
+        _parse_size(args.max_bytes, parser, "--max-bytes")
+        if args.max_bytes is not None
+        else None
+    )
+    if args.max_age is not None and args.max_age < 0:
+        parser.error("--max-age must be >= 0")
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    stats = cache.gc(
+        max_bytes=max_bytes,
+        max_age_seconds=args.max_age,
+        remove_corrupt=not args.keep_corrupt,
+    )
+    print(f"# cache gc: {stats.summary_line()} dir={cache.directory}")
+    return 0
+
+
 def _main_obs(args, parser: argparse.ArgumentParser) -> int:
     from .obs import build_report
 
@@ -1012,6 +1207,8 @@ def main(argv: Optional[list] = None) -> int:
         return _main_validate(args, parser)
     if args.command == "scenario":
         return _main_scenario(args, parser)
+    if args.command == "cache":
+        return _main_cache(args, parser)
     if args.command == "obs":
         return _main_obs(args, parser)
     return _main_run(args, parser)

@@ -34,9 +34,11 @@ budget is only enforceable across a process boundary.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import pickle
+import random
 import tempfile
 import time
 import warnings
@@ -59,6 +61,7 @@ except ImportError:  # pragma: no cover - non-Unix fallback
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheGcStats",
     "DryRunComplete",
     "DryRunExecutor",
     "ExecutorStats",
@@ -73,9 +76,10 @@ __all__ = [
     "run_grid",
 ]
 
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 """Bump when simulation semantics change in a way that invalidates cached
-results without changing the spec encoding (part of every cache key)."""
+results without changing the spec encoding (part of every cache key).
+v2: entries carry a sha256 checksum footer (corruption detection)."""
 
 
 def _code_tag() -> str:
@@ -161,11 +165,19 @@ def _max_rss_kb() -> Optional[int]:
 
 
 def _guarded_execute(
-    spec: RunSpec, attempt: int = 0, observe_spans: bool = False
+    spec: RunSpec,
+    attempt: int = 0,
+    observe_spans: bool = False,
+    backoff_delay: float = 0.0,
 ) -> Any:
     """Worker entry point: run a spec, converting any exception into a
     picklable :class:`RunFailure` so nothing propagates (or fails to
     pickle) across the process boundary.
+
+    ``backoff_delay`` (seconds) is slept *here*, in the worker, before the
+    attempt runs: retry backoff must never block the parent's submission
+    loop, which keeps feeding other specs to the rest of the pool while a
+    retried one waits out its delay.
 
     Observability: the run is wrapped in a ``cell`` span and every outcome
     that can carry attributes gets an ``_obs`` payload (wall seconds, peak
@@ -177,6 +189,8 @@ def _guarded_execute(
     """
     from ..telemetry.runtime import get_active, set_active
 
+    if backoff_delay > 0:
+        time.sleep(backoff_delay)
     local_telemetry = None
     if observe_spans and get_active() is None:
         from ..telemetry.hub import Telemetry
@@ -209,6 +223,34 @@ def _guarded_execute(
 
 # ------------------------------------------------------------------ cache
 
+_CHECKSUM_MAGIC = b"RPROSUM1"
+"""Footer marker preceding the sha256 digest at the end of every cache
+entry.  Eight bytes so the footer is ``magic + 32-byte digest``."""
+
+_FOOTER_LEN = len(_CHECKSUM_MAGIC) + hashlib.sha256().digest_size
+
+CORRUPT_SUFFIX = ".corrupt"
+
+
+@dataclass
+class CacheGcStats:
+    """What one :meth:`ResultCache.gc` pass did."""
+
+    scanned: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    corrupt_removed: int = 0
+
+    def summary_line(self) -> str:
+        return (
+            f"scanned={self.scanned} removed={self.removed} "
+            f"removed_bytes={self.removed_bytes} kept={self.kept} "
+            f"kept_bytes={self.kept_bytes} "
+            f"corrupt_removed={self.corrupt_removed}"
+        )
+
 
 class ResultCache:
     """Pickle-per-cell result store keyed by spec hash + code version tag.
@@ -216,12 +258,23 @@ class ResultCache:
     Layout: ``<dir>/<key>.pkl`` where ``key`` hashes the spec's canonical
     JSON together with the package version and cache schema version, so a
     release or an explicit :data:`CACHE_SCHEMA_VERSION` bump invalidates
-    every stale entry at once.  Writes are atomic (temp file + rename);
-    unreadable entries degrade to cache misses.
+    every stale entry at once.  Writes are atomic (temp file + rename).
+
+    Integrity: every entry is ``pickle || magic || sha256(pickle)``.  An
+    entry whose footer is missing or whose digest mismatches was corrupted
+    on disk (truncation, bit rot, a torn non-atomic copy); it is
+    *quarantined* -- renamed to ``<key>.pkl.corrupt``, counted on
+    :attr:`corrupt_quarantined` and the ``cache_corrupt_total`` telemetry
+    counter -- so corruption is observable and the poisoned bytes can
+    never be re-read as a result.  A checksum-valid entry that still fails
+    to unpickle (e.g. an ImportError for a class this environment lacks)
+    is an environment mismatch, not corruption: it degrades to a plain
+    miss and the entry stays for environments that can read it.
     """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        self.corrupt_quarantined = 0
 
     def key(self, spec: RunSpec) -> str:
         return stable_hash({"spec": spec.to_dict(), "code": _code_tag()})
@@ -235,24 +288,67 @@ class ResultCache:
         path = self.path(spec)
         try:
             with open(path, "rb") as handle:
-                entry = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                blob = handle.read()
+        except OSError:
             return False, None
-        if entry.get("spec") != spec.to_dict():
-            return False, None  # hash collision or corrupted entry
+        payload = self._verified_payload(path, blob)
+        if payload is None:
+            return False, None
+        try:
+            entry = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError):
+            return False, None  # checksum ok: environment mismatch, not rot
+        if not isinstance(entry, dict) or entry.get("spec") != spec.to_dict():
+            return False, None  # hash collision
         return True, entry.get("result")
+
+    def _verified_payload(self, path: Path, blob: bytes) -> Optional[bytes]:
+        """The pickle payload if the checksum footer verifies, else None
+        after quarantining the corrupt entry."""
+        if len(blob) > _FOOTER_LEN:
+            magic_start = len(blob) - _FOOTER_LEN
+            digest_start = len(blob) - hashlib.sha256().digest_size
+            if blob[magic_start:digest_start] == _CHECKSUM_MAGIC:
+                payload = blob[:magic_start]
+                if hashlib.sha256(payload).digest() == blob[digest_start:]:
+                    return payload
+        self._quarantine(path)
+        return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never silently re-readable) and
+        count it."""
+        self.corrupt_quarantined += 1
+        try:
+            os.replace(path, path.with_name(path.name + CORRUPT_SUFFIX))
+        except OSError:
+            pass  # a racing quarantine/gc won; the count still stands
+        warnings.warn(
+            f"cache entry {path.name} failed its checksum and was "
+            f"quarantined to {path.name}{CORRUPT_SUFFIX}",
+            stacklevel=3,
+        )
+        from ..telemetry.runtime import get_active
+
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.on_cache_corrupt(path.name)
 
     def store(self, spec: RunSpec, result: Any) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         entry = {"spec": spec.to_dict(), "code": _code_tag(), "result": result}
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(payload)
+                handle.write(_CHECKSUM_MAGIC)
+                handle.write(hashlib.sha256(payload).digest())
             os.replace(tmp, self.path(spec))
         except OSError:
             self._unlink_tmp(tmp)
+            return
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
             # An unpicklable result must not poison the sweep (or leak the
             # temp file): skip the store, keep the in-memory result.
@@ -262,6 +358,11 @@ class ResultCache:
                 f"cached: {type(exc).__name__}: {exc}",
                 stacklevel=2,
             )
+            return
+        if os.environ.get("REPRO_CHAOS"):
+            from ..testing.chaos import chaos_cache_store
+
+            chaos_cache_store(self.path(spec))
 
     @staticmethod
     def _unlink_tmp(tmp: str) -> None:
@@ -269,6 +370,79 @@ class ResultCache:
             os.unlink(tmp)
         except OSError:
             pass
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        remove_corrupt: bool = True,
+        now: Optional[float] = None,
+    ) -> CacheGcStats:
+        """Evict cache entries: quarantined ``*.corrupt`` files and stray
+        write temps always go (unless ``remove_corrupt=False`` keeps the
+        quarantine for inspection), entries older than ``max_age_seconds``
+        go, then newest-first retention keeps the cache under
+        ``max_bytes``.  Everything is best-effort against concurrent
+        writers -- a vanished file is simply skipped.
+        """
+        stats = CacheGcStats()
+        if not self.directory.exists():
+            return stats
+        if now is None:
+            now = time.time()
+        live: List[Tuple[Path, float, int]] = []
+        for path in sorted(self.directory.iterdir()):
+            name = path.name
+            is_corrupt = name.endswith(CORRUPT_SUFFIX)
+            is_tmp = name.endswith(".tmp")
+            if not (is_corrupt or is_tmp or name.endswith(".pkl")):
+                continue  # not ours
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stats.scanned += 1
+            if is_corrupt or is_tmp:
+                if is_corrupt and not remove_corrupt:
+                    stats.kept += 1
+                    stats.kept_bytes += stat.st_size
+                    continue
+                if self._gc_remove(path, stat.st_size, stats):
+                    if is_corrupt:
+                        stats.corrupt_removed += 1
+                continue
+            if (
+                max_age_seconds is not None
+                and now - stat.st_mtime > max_age_seconds
+            ):
+                self._gc_remove(path, stat.st_size, stats)
+                continue
+            live.append((path, stat.st_mtime, stat.st_size))
+        if max_bytes is not None:
+            live.sort(key=lambda item: item[1], reverse=True)  # newest first
+            kept_bytes = 0
+            for path, _mtime, size in live:
+                if kept_bytes + size > max_bytes:
+                    self._gc_remove(path, size, stats)
+                else:
+                    kept_bytes += size
+                    stats.kept += 1
+                    stats.kept_bytes += size
+        else:
+            for _path, _mtime, size in live:
+                stats.kept += 1
+                stats.kept_bytes += size
+        return stats
+
+    @staticmethod
+    def _gc_remove(path: Path, size: int, stats: CacheGcStats) -> bool:
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        stats.removed += 1
+        stats.removed_bytes += size
+        return True
 
 
 # --------------------------------------------------------------- executor
@@ -351,6 +525,16 @@ class Executor:
     Args:
         retries: extra attempts per failing spec (default 1, so each spec
             runs at most twice before its failure is recorded).
+        retry_backoff: base delay in seconds for retry backoff (``None``/0
+            disables it, the historical behaviour of immediate
+            re-submission).  Attempt ``k`` (1-based retry index) waits
+            ``base * 2**(k-1) * jitter`` with jitter uniform in
+            ``[0.5, 1.5)``, capped at 30 s -- and *deterministically
+            seeded* from ``(spec token, attempt)``, so a rerun of the same
+            grid backs off identically (manifest provenance records the
+            base).  The wait happens inside the worker attempt, never in
+            the parent's submission loop; note it therefore counts against
+            ``spec_timeout``.
         spec_timeout: per-spec wall-clock budget in seconds; a spec still
             running past it is abandoned (its worker killed, the pool
             rebuilt) and recorded as a ``RunFailure(kind="timeout")``.
@@ -358,12 +542,15 @@ class Executor:
             execution even at ``jobs=1``.  ``None`` (default) disables it.
     """
 
+    BACKOFF_CAP_SECONDS = 30.0
+
     def __init__(
         self,
         jobs: int = 1,
         cache: bool = False,
         cache_dir: Optional[Path] = None,
         retries: int = 1,
+        retry_backoff: Optional[float] = None,
         spec_timeout: Optional[float] = None,
         progress: Optional[Any] = None,
     ) -> None:
@@ -371,6 +558,8 @@ class Executor:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if retry_backoff is not None and retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0 (or None)")
         if spec_timeout is not None and spec_timeout <= 0:
             raise ValueError("spec_timeout must be positive (or None)")
         self.jobs = jobs
@@ -378,6 +567,7 @@ class Executor:
             ResultCache(cache_dir) if cache else None
         )
         self.retries = retries
+        self.retry_backoff = retry_backoff or None
         self.spec_timeout = spec_timeout
         self.stats = ExecutorStats()
         self.failures: List[RunFailure] = []
@@ -395,10 +585,14 @@ class Executor:
     def from_env(cls) -> "Executor":
         """``REPRO_JOBS`` sets the worker count (default 1, in-process);
         the cache activates only when ``REPRO_CACHE_DIR`` names a directory,
-        so plain test runs never touch ``~/.cache``.  ``REPRO_RETRIES`` and
-        ``REPRO_SPEC_TIMEOUT`` configure the fault-tolerance knobs."""
+        so plain test runs never touch ``~/.cache``.  ``REPRO_RETRIES``,
+        ``REPRO_RETRY_BACKOFF`` and ``REPRO_SPEC_TIMEOUT`` configure the
+        fault-tolerance knobs."""
         jobs = _env_int("REPRO_JOBS", 1, minimum=1)
         retries = _env_int("REPRO_RETRIES", 1, minimum=0)
+        backoff = _env_float("REPRO_RETRY_BACKOFF", None)
+        if backoff is not None and backoff <= 0:
+            backoff = None  # 0 / negative = explicitly off
         timeout = _env_float("REPRO_SPEC_TIMEOUT", None)
         if timeout is not None and timeout <= 0:
             timeout = None  # 0 / negative = explicitly off
@@ -408,8 +602,23 @@ class Executor:
             cache=bool(cache_dir),
             cache_dir=Path(cache_dir) if cache_dir else None,
             retries=retries,
+            retry_backoff=backoff,
             spec_timeout=timeout,
         )
+
+    def _backoff_delay(self, spec: RunSpec, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (0 = first try, never
+        delayed).  Exponential in the retry index with jitter drawn from a
+        PRNG seeded by ``(spec token, attempt)``: deterministic across
+        reruns and processes, decorrelated across specs so a burst of
+        failures does not retry in lockstep."""
+        if not self.retry_backoff or attempt <= 0:
+            return 0.0
+        rng = random.Random(f"{spec.token()}|{attempt}")
+        delay = (
+            self.retry_backoff * (2 ** (attempt - 1)) * (0.5 + rng.random())
+        )
+        return min(delay, self.BACKOFF_CAP_SECONDS)
 
     def run(self, specs: Sequence[RunSpec]) -> List[Any]:
         """Execute every spec (cache, then workers) in submission order.
@@ -475,7 +684,10 @@ class Executor:
         outcome: Any = None
         attempt = first_attempt
         while True:
-            outcome = _guarded_execute(spec, attempt, self._spans_requested)
+            outcome = _guarded_execute(
+                spec, attempt, self._spans_requested,
+                self._backoff_delay(spec, attempt),
+            )
             if not isinstance(outcome, RunFailure):
                 return outcome
             if attempt - first_attempt >= self.retries:
@@ -541,6 +753,7 @@ class Executor:
                 future = pool.submit(
                     _guarded_execute, specs[index], attempts[index],
                     self._spans_requested,
+                    self._backoff_delay(specs[index], attempts[index]),
                 )
             except (BrokenProcessPool, RuntimeError):
                 # The pool broke before we noticed (a worker died between

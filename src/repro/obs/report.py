@@ -107,6 +107,7 @@ class ObsReport:
     """Computed dashboard data plus the markdown/HTML renderers."""
 
     store_path: Optional[str] = None
+    torn_lines: int = 0
     status_counts: Dict[str, int] = field(default_factory=dict)
     failure_kinds: Dict[str, int] = field(default_factory=dict)
     failed_cells: List[Dict[str, Any]] = field(default_factory=list)
@@ -163,6 +164,11 @@ class ObsReport:
             *[[f"cells {status}", count]
               for status, count in sorted(self.status_counts.items())],
         ]
+        if self.torn_lines:
+            # Store damage deserves a prominent row: >1 torn line means
+            # more than a single interrupted trailing write.
+            summary_rows.append(["store torn lines (skipped)",
+                                 self.torn_lines])
         if self.resources:
             wall = self.total_wall_seconds
             events = self.total_events
@@ -331,6 +337,7 @@ def build_report(
         campaign_store = CampaignStore(store)
         report.store_path = str(campaign_store.path)
         index = campaign_store.load()
+        report.torn_lines = campaign_store.load_stats.torn_lines
         records = [record.to_dict() for record in index.values()]
         if resources is None:
             resources = campaign_store.resources_path

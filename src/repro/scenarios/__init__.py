@@ -10,7 +10,11 @@ campaign.
 * :mod:`~repro.scenarios.campaign` -- resumable campaign orchestration over
   a directory of scenario files with a crash-safe JSONL result store.
 
-CLI: ``repro scenario list|check|run|report``.  The checked-in
+* :mod:`~repro.scenarios.coordination` -- multi-writer resilience: store
+  lock, lease-based cell claiming with stale-lease reclamation, graceful
+  shutdown, idempotent store merge and canonical store fingerprints.
+
+CLI: ``repro scenario list|check|run|report|merge``.  The checked-in
 ``scenarios/`` directory holds faithful re-expressions of the paper's
 fig6/fig10/fig11 setups plus beyond-paper scenarios (oversubscribed
 fabrics, mixed traffic, extreme RTT spread).
@@ -20,8 +24,20 @@ from .campaign import (
     CampaignResult,
     CampaignStore,
     CellRecord,
+    StoreLoadStats,
     run_campaign,
     render_store_report,
+)
+from .coordination import (
+    GracefulShutdown,
+    LeaseBoard,
+    LockTimeout,
+    MergeConflictError,
+    MergeResult,
+    StoreLock,
+    default_worker_id,
+    merge_stores,
+    store_fingerprint,
 )
 from .compile import (
     CompiledScenario,
@@ -52,6 +68,16 @@ __all__ = [
     "CampaignStore",
     "CampaignResult",
     "CellRecord",
+    "StoreLoadStats",
     "run_campaign",
     "render_store_report",
+    "GracefulShutdown",
+    "LeaseBoard",
+    "LockTimeout",
+    "MergeConflictError",
+    "MergeResult",
+    "StoreLock",
+    "default_worker_id",
+    "merge_stores",
+    "store_fingerprint",
 ]

@@ -27,7 +27,7 @@ import os
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..experiments.executor import Executor, get_default_executor
 from ..telemetry.provenance import git_sha
@@ -40,6 +40,7 @@ __all__ = [
     "CellRecord",
     "CampaignStore",
     "CampaignResult",
+    "StoreLoadStats",
     "run_campaign",
     "render_store_report",
     "DEFAULT_STORE",
@@ -99,6 +100,35 @@ class CellRecord:
         )
 
 
+@dataclass
+class StoreLoadStats:
+    """What the last :meth:`CampaignStore.load` actually read.
+
+    ``torn_lines`` counts unparseable lines skipped during the load --
+    normally 0 or 1 (a single torn trailing write from a crash); more than
+    one means the store took damage beyond a clean kill and deserves a
+    look.  Surfaced by ``repro scenario report`` and the obs dashboard.
+    """
+
+    lines: int = 0
+    records: int = 0
+    torn_lines: int = 0
+
+
+def _needs_trailing_newline(path: Path) -> bool:
+    """Whether ``path`` ends mid-line (torn write from a crash) and must be
+    newline-terminated before the next append, so the torn line cannot glue
+    onto the next record and make both unreadable."""
+    try:
+        if path.stat().st_size == 0:
+            return False
+    except OSError:
+        return False
+    with open(path, "rb") as probe:
+        probe.seek(-1, os.SEEK_END)
+        return probe.read(1) != b"\n"
+
+
 class CampaignStore:
     """Append-only JSONL store of :class:`CellRecord` lines.
 
@@ -109,14 +139,29 @@ class CampaignStore:
     exactly the nondeterminism that invariant excludes.  The sidecar is
     append-only observability data -- consumers take the latest row per
     ``(scenario, cell_key)`` -- and losing it never affects resume.
+
+    Two more sidecars exist only for ``--shared`` multi-writer campaigns
+    (see :mod:`repro.scenarios.coordination`): ``<store>.lock`` -- the
+    advisory lockfile serializing appends -- and ``<stem>.leases.jsonl`` --
+    the lease ledger partitioning pending cells across workers.  Both are
+    coordination state: deleting them never loses campaign results.
     """
 
     def __init__(self, path: "Path | str") -> None:
         self.path = Path(path)
+        self.load_stats = StoreLoadStats()
 
     @property
     def resources_path(self) -> Path:
         return self.path.with_name(self.path.stem + ".resources.jsonl")
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    @property
+    def leases_path(self) -> Path:
+        return self.path.with_name(self.path.stem + ".leases.jsonl")
 
     def append_resources(self, rows: Sequence[Dict[str, Any]]) -> None:
         """Append per-cell resource rows to the sidecar (best-effort: the
@@ -124,7 +169,10 @@ class CampaignStore:
         if not rows:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        needs_newline = _needs_trailing_newline(self.resources_path)
         with open(self.resources_path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
             for row in rows:
                 handle.write(
                     json.dumps(row, sort_keys=True, separators=(",", ":"))
@@ -149,8 +197,11 @@ class CampaignStore:
 
     def load(self) -> Dict[RecordKey, CellRecord]:
         """Record index, latest record per key winning.  Unparseable lines
-        (torn trailing write from a crash) are skipped with a warning."""
+        (torn trailing write from a crash) are skipped with a warning and
+        counted in :attr:`load_stats`."""
         index: Dict[RecordKey, CellRecord] = {}
+        stats = StoreLoadStats()
+        self.load_stats = stats
         if not self.path.exists():
             return index
         with open(self.path, "r", encoding="utf-8") as handle:
@@ -158,15 +209,18 @@ class CampaignStore:
                 line = line.strip()
                 if not line:
                     continue
+                stats.lines += 1
                 try:
                     record = CellRecord.from_dict(json.loads(line))
                 except (json.JSONDecodeError, KeyError, TypeError):
+                    stats.torn_lines += 1
                     warnings.warn(
                         f"{self.path}:{line_no}: skipping unreadable record "
                         "(torn write from an interrupted campaign?)",
                         stacklevel=2,
                     )
                     continue
+                stats.records += 1
                 index[record.key] = record
         return index
 
@@ -176,25 +230,28 @@ class CampaignStore:
         if not records:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(
+            json.dumps(record.to_dict(), sort_keys=True,
+                       separators=(",", ":")) + "\n"
+            for record in records
+        )
+        die_after_write = False
+        if os.environ.get("REPRO_CHAOS"):
+            from ..testing.chaos import CHAOS_EXIT_CODE, chaos_store_append
+
+            payload, die_after_write = chaos_store_append(payload)
         # A crash mid-write can leave a torn line with no trailing newline;
         # terminate it first so the next record does not glue onto it and
         # become unreadable too.
-        needs_newline = False
-        if self.path.exists() and self.path.stat().st_size > 0:
-            with open(self.path, "rb") as probe:
-                probe.seek(-1, os.SEEK_END)
-                needs_newline = probe.read(1) != b"\n"
+        needs_newline = _needs_trailing_newline(self.path)
         with open(self.path, "a", encoding="utf-8") as handle:
             if needs_newline:
                 handle.write("\n")
-            for record in records:
-                handle.write(
-                    json.dumps(record.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-                )
-                handle.write("\n")
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        if die_after_write:
+            os._exit(CHAOS_EXIT_CODE)
 
 
 @dataclass
@@ -206,16 +263,26 @@ class CampaignResult:
     executed_cells: int = 0
     skipped_cells: int = 0
     failed_cells: int = 0
+    reclaimed_leases: int = 0
+    interrupted: bool = False
+    interrupt_signum: Optional[int] = None
 
     @property
     def total_cells(self) -> int:
         return sum(len(c.cells) for c in self.compiled)
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"cells={self.total_cells} executed={self.executed_cells} "
             f"skipped={self.skipped_cells} failed={self.failed_cells}"
         )
+        # Suffixes only when relevant: the base four tokens are a stable
+        # grep surface for tests and CI.
+        if self.reclaimed_leases:
+            line += f" reclaimed={self.reclaimed_leases}"
+        if self.interrupted:
+            line += " interrupted"
+        return line
 
 
 def _package_version() -> str:
@@ -275,12 +342,228 @@ def _cell_resources(
     }
 
 
+def _iter_cells(
+    compiled: Sequence[CompiledScenario],
+) -> Iterator[Tuple[CompiledScenario, ScenarioCell, str]]:
+    """Cells in deterministic scenario-order x cell-order with each
+    scenario's content hash computed once."""
+    for comp in compiled:
+        scenario_hash = comp.scenario.content_hash()
+        for cell in comp.cells:
+            yield comp, cell, scenario_hash
+
+
+def _execute_shard(
+    executor: Executor,
+    shard: Sequence[Tuple[CompiledScenario, ScenarioCell]],
+    provenance: Tuple[Optional[str], str],
+    result: CampaignResult,
+    progress: Optional[Any],
+) -> Tuple[List[CellRecord], List[Dict[str, Any]]]:
+    """Execute one shard through the executor and settle its records
+    (store appends are the caller's job -- shared mode does them under
+    the store lock)."""
+    flat = [spec for _, cell in shard for spec in cell.specs]
+    retried_before = executor.stats.retried
+    outcomes = executor.run(flat)
+    if progress is not None:
+        for _ in range(executor.stats.retried - retried_before):
+            progress.retry()
+    attribution = executor.last_run_attribution
+    shard_records: List[CellRecord] = []
+    shard_resources: List[Dict[str, Any]] = []
+    cursor = 0
+    for comp, cell in shard:
+        runs = outcomes[cursor:cursor + len(cell.specs)]
+        cell_attrs = attribution[cursor:cursor + len(cell.specs)]
+        cursor += len(cell.specs)
+        record = _settle(comp, cell, runs, provenance)
+        shard_records.append(record)
+        result.records.append(record)
+        result.executed_cells += 1
+        if record.status == "failed":
+            result.failed_cells += 1
+        resources = _cell_resources(record, cell_attrs, provenance[0])
+        shard_resources.append(resources)
+        if progress is not None:
+            progress.cell_done(
+                "ok" if record.status == "ok" else "failed",
+                wall_seconds=resources["wall_seconds"] or None,
+                events=resources["events"] or None,
+            )
+        _notify(comp.scenario.name, cell.key, record.status)
+    return shard_records, shard_resources
+
+
+def _interrupt_requested(
+    shutdown: Optional[Any], result: CampaignResult
+) -> bool:
+    """Poll the graceful-shutdown latch between shards; records the
+    interruption on the result so the CLI can exit ``128 + signum``."""
+    if shutdown is not None and getattr(shutdown, "requested", False):
+        result.interrupted = True
+        result.interrupt_signum = getattr(shutdown, "signum", None)
+        return True
+    return False
+
+
+def _run_single(
+    compiled: Sequence[CompiledScenario],
+    store: CampaignStore,
+    executor: Executor,
+    result: CampaignResult,
+    provenance: Tuple[Optional[str], str],
+    max_cells: Optional[int],
+    progress: Optional[Any],
+    shutdown: Optional[Any],
+) -> None:
+    """The single-writer path: no locks, no leases, store byte-identical
+    to the pre-coordination format."""
+    index = store.load()
+    pending: List[Tuple[CompiledScenario, ScenarioCell]] = []
+    skipped: List[Tuple[str, str]] = []
+    for comp, cell, scenario_hash in _iter_cells(compiled):
+        record = index.get((scenario_hash, tuple(cell.tokens())))
+        if record is not None and record.status == "ok":
+            result.records.append(record)
+            result.skipped_cells += 1
+            skipped.append((comp.scenario.name, cell.key))
+            _notify(comp.scenario.name, cell.key, "skipped")
+        else:
+            pending.append((comp, cell))
+    if max_cells is not None:
+        pending = pending[:max_cells]
+    if progress is not None:
+        progress.add_total(len(skipped) + len(pending))
+        for _ in skipped:
+            progress.cell_done("skipped")
+
+    # One executor pass per shard: big enough to keep the pool
+    # saturated, small enough that a kill between shards forfeits
+    # little work.
+    shard_size = max(1, executor.jobs) * 4
+    for start in range(0, len(pending), shard_size):
+        if _interrupt_requested(shutdown, result):
+            break
+        shard = pending[start:start + shard_size]
+        shard_records, shard_resources = _execute_shard(
+            executor, shard, provenance, result, progress
+        )
+        store.append(shard_records)
+        store.append_resources(shard_resources)
+
+
+def _run_shared(
+    compiled: Sequence[CompiledScenario],
+    store: CampaignStore,
+    executor: Executor,
+    result: CampaignResult,
+    provenance: Tuple[Optional[str], str],
+    max_cells: Optional[int],
+    progress: Optional[Any],
+    worker_id: Optional[str],
+    lease_ttl: Optional[float],
+    lock_timeout: Optional[float],
+    shutdown: Optional[Any],
+) -> None:
+    """The multi-writer path: claim pending cells through the lease board
+    under the store lock, execute outside it, append + release under it.
+
+    Each iteration re-loads the store (other workers append concurrently),
+    accounts newly-ok cells as skipped, claims up to one shard of free or
+    stale-leased cells, and stops when nothing is claimable -- either the
+    campaign is done or every remaining cell is leased to a live worker
+    (rerun later to pick up whatever they drop).
+    """
+    from .coordination import (
+        DEFAULT_LOCK_TIMEOUT,
+        LeaseBoard,
+        StoreLock,
+        default_worker_id,
+        lease_ttl_from_env,
+    )
+
+    worker = worker_id or default_worker_id()
+    ttl = lease_ttl if lease_ttl is not None else lease_ttl_from_env()
+    timeout = (
+        lock_timeout if lock_timeout is not None else DEFAULT_LOCK_TIMEOUT
+    )
+    lock = StoreLock(store.lock_path, timeout=timeout)
+    board = LeaseBoard(store.leases_path, ttl=ttl)
+    shard_size = max(1, executor.jobs) * 4
+    accounted: Set[RecordKey] = set()
+    budget = max_cells
+
+    while True:
+        if _interrupt_requested(shutdown, result):
+            break
+        if budget is not None and budget <= 0:
+            break
+        with lock:
+            index = store.load()
+            newly_skipped: List[Tuple[str, str]] = []
+            pending_keys: List[RecordKey] = []
+            by_key: Dict[RecordKey, Tuple[CompiledScenario, ScenarioCell]] = {}
+            for comp, cell, scenario_hash in _iter_cells(compiled):
+                key: RecordKey = (scenario_hash, tuple(cell.tokens()))
+                if key in accounted:
+                    continue
+                record = index.get(key)
+                if record is not None and record.status == "ok":
+                    accounted.add(key)
+                    result.records.append(record)
+                    result.skipped_cells += 1
+                    newly_skipped.append((comp.scenario.name, cell.key))
+                else:
+                    pending_keys.append(key)
+                    by_key[key] = (comp, cell)
+            limit = (
+                shard_size if budget is None else min(shard_size, budget)
+            )
+            claimable, reclaimed = board.partition(
+                pending_keys, worker, limit=limit
+            )
+            if claimable:
+                board.claim(claimable, worker)
+        if progress is not None:
+            progress.add_total(len(newly_skipped) + len(claimable))
+            for _ in newly_skipped:
+                progress.cell_done("skipped")
+        for name, cell_key in newly_skipped:
+            _notify(name, cell_key, "skipped")
+        if not claimable:
+            # Done, or every remaining cell is leased to a live worker.
+            break
+        telemetry = get_active()
+        for _, prev_worker in reclaimed:
+            result.reclaimed_leases += 1
+            if telemetry is not None:
+                telemetry.on_lease_reclaim(prev_worker)
+
+        shard = [by_key[key] for key in claimable]
+        shard_records, shard_resources = _execute_shard(
+            executor, shard, provenance, result, progress
+        )
+        with lock:
+            store.append(shard_records)
+            store.append_resources(shard_resources)
+            board.release(claimable, worker)
+        accounted.update(claimable)
+        if budget is not None:
+            budget -= len(claimable)
+
+
 def run_campaign(
     scenarios: Sequence[Scenario],
     store: "CampaignStore | Path | str" = DEFAULT_STORE,
     executor: Optional[Executor] = None,
     max_cells: Optional[int] = None,
     progress: Optional[Any] = None,
+    shared: bool = False,
+    worker_id: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+    lock_timeout: Optional[float] = None,
+    shutdown: Optional[Any] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign over ``scenarios``.
 
@@ -290,6 +573,20 @@ def run_campaign(
     process between shards loses nothing.  ``max_cells`` bounds how many
     pending cells this pass executes (the deterministic "kill after N
     cells" used by the resume tests); the next run picks up the rest.
+
+    ``shared=True`` switches to the multi-writer protocol
+    (:mod:`repro.scenarios.coordination`): appends happen under the store's
+    advisory lock and pending cells are partitioned across workers through
+    lease records, with stale leases (a killed worker's) reclaimed after
+    ``lease_ttl`` seconds.  ``worker_id`` defaults to ``host:pid``.  Any
+    number of ``shared`` processes may target the same store concurrently;
+    the settled result converges to exactly a single-writer run's records.
+
+    ``shutdown`` is an optional latch with ``requested``/``signum``
+    attributes (see :class:`~repro.scenarios.coordination.GracefulShutdown`)
+    polled between shards: on SIGINT/SIGTERM the in-flight shard is
+    finished and appended, leases released, and ``result.interrupted`` set
+    so the CLI can exit ``128 + signum`` with the store fully resumable.
 
     ``progress`` is an optional
     :class:`~repro.telemetry.progress.ProgressReporter` fed one unit per
@@ -309,67 +606,18 @@ def run_campaign(
             with maybe_span("compile", kind="scenario",
                             scenario=scenario.name):
                 compiled.append(compile_scenario(scenario))
-        index = store.load()
         provenance = (git_sha(), _package_version())
         result = CampaignResult(compiled=compiled)
-
-        pending: List[Tuple[CompiledScenario, ScenarioCell]] = []
-        skipped: List[Tuple[str, str]] = []
-        for comp in compiled:
-            scenario_hash = comp.scenario.content_hash()
-            for cell in comp.cells:
-                record = index.get((scenario_hash, tuple(cell.tokens())))
-                if record is not None and record.status == "ok":
-                    result.records.append(record)
-                    result.skipped_cells += 1
-                    skipped.append((comp.scenario.name, cell.key))
-                    _notify(comp.scenario.name, cell.key, "skipped")
-                else:
-                    pending.append((comp, cell))
-        if max_cells is not None:
-            pending = pending[:max_cells]
-        if progress is not None:
-            progress.add_total(len(skipped) + len(pending))
-            for _ in skipped:
-                progress.cell_done("skipped")
-
-        # One executor pass per shard: big enough to keep the pool
-        # saturated, small enough that a kill between shards forfeits
-        # little work.
-        shard_size = max(1, executor.jobs) * 4
-        for start in range(0, len(pending), shard_size):
-            shard = pending[start:start + shard_size]
-            flat = [spec for _, cell in shard for spec in cell.specs]
-            retried_before = executor.stats.retried
-            outcomes = executor.run(flat)
-            if progress is not None:
-                for _ in range(executor.stats.retried - retried_before):
-                    progress.retry()
-            attribution = executor.last_run_attribution
-            shard_records: List[CellRecord] = []
-            shard_resources: List[Dict[str, Any]] = []
-            cursor = 0
-            for comp, cell in shard:
-                runs = outcomes[cursor:cursor + len(cell.specs)]
-                cell_attrs = attribution[cursor:cursor + len(cell.specs)]
-                cursor += len(cell.specs)
-                record = _settle(comp, cell, runs, provenance)
-                shard_records.append(record)
-                result.records.append(record)
-                result.executed_cells += 1
-                if record.status == "failed":
-                    result.failed_cells += 1
-                resources = _cell_resources(record, cell_attrs, provenance[0])
-                shard_resources.append(resources)
-                if progress is not None:
-                    progress.cell_done(
-                        "ok" if record.status == "ok" else "failed",
-                        wall_seconds=resources["wall_seconds"] or None,
-                        events=resources["events"] or None,
-                    )
-                _notify(comp.scenario.name, cell.key, record.status)
-            store.append(shard_records)
-            store.append_resources(shard_resources)
+        if shared:
+            _run_shared(
+                compiled, store, executor, result, provenance, max_cells,
+                progress, worker_id, lease_ttl, lock_timeout, shutdown,
+            )
+        else:
+            _run_single(
+                compiled, store, executor, result, provenance, max_cells,
+                progress, shutdown,
+            )
     return result
 
 
@@ -418,6 +666,10 @@ def render_store_report(
         f'run_failures_total{{kind="{kind}"}} {count}'
         for kind, count in sorted(failure_kinds.items())
     ]
+    if store.load_stats.torn_lines:
+        counter_lines.append(
+            f"campaign_store_torn_lines_total {store.load_stats.torn_lines}"
+        )
 
     sections = ["# counters\n" + "\n".join(counter_lines)]
     for name in sorted(by_scenario):

@@ -1,0 +1,631 @@
+"""Multi-writer campaign coordination: store locks, cell leases, merging.
+
+PR 6's campaign store is crash-safe for a *single* writer: append-only
+JSONL, fsync per shard, torn trailing lines skipped on load.  This module
+adds what a fleet of workers sharing one campaign needs on top:
+
+* :class:`StoreLock` -- an advisory ``O_CREAT|O_EXCL`` lockfile next to
+  the store (``<store>.lock``), holding ``pid host`` and heartbeat-touched
+  while held.  A lock whose owner pid is dead (same host) or whose mtime
+  is older than ``stale_after`` is *broken* by atomically renaming it
+  aside, so a SIGKILLed writer can never wedge the campaign.
+* :class:`LeaseBoard` -- lease records in a sidecar JSONL file
+  (``<store>.leases.jsonl``, append-only, latest-line-per-key wins) that
+  partition pending cells across ``repro scenario run --shared`` workers.
+  A claimed lease older than its TTL is stale and may be *reclaimed* by
+  another worker, so a killed worker's cells re-run exactly once.  Lease
+  and lock files are coordination state only: the main store stays
+  byte-compatible with single-writer campaigns.
+* :class:`GracefulShutdown` -- SIGINT/SIGTERM latch used by
+  ``run_campaign`` so an interrupted worker finishes and appends its
+  current shard, releases its leases, and exits ``128+signum`` (130 for
+  SIGINT) with the store fully resumable.
+* :func:`merge_stores` -- idempotent N-store merge with latest-ok-wins
+  semantics and hard conflict detection: two ``ok`` records for the same
+  key that disagree on result content abort the merge (that means two
+  workers simulated the same cell and got different answers -- a
+  determinism bug that must never be papered over).
+* :func:`store_fingerprint` -- canonical bytes of a store's settled cell
+  records (latest per key, sorted), the equality notion chaos tests use:
+  N writers under kills/tears must converge to the same fingerprint as an
+  uninterrupted single-writer run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .campaign import CampaignStore, CellRecord, RecordKey
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_LOCK_STALE",
+    "DEFAULT_LOCK_TIMEOUT",
+    "GracefulShutdown",
+    "Lease",
+    "LeaseBoard",
+    "LockTimeout",
+    "MergeConflictError",
+    "MergeResult",
+    "StoreLock",
+    "canonical_records",
+    "default_worker_id",
+    "merge_stores",
+    "store_fingerprint",
+]
+
+DEFAULT_LEASE_TTL = 60.0
+"""Seconds a claimed lease stays exclusive without being released.  Tuned
+for "worker died", not "worker is slow": a worker holds its lease only
+while executing one shard, and re-running a cell is merely wasted work
+(results are deterministic), never a correctness problem."""
+
+DEFAULT_LOCK_TIMEOUT = 60.0
+DEFAULT_LOCK_STALE = 30.0
+
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+
+
+def default_worker_id() -> str:
+    """``host:pid`` -- unique per concurrently live worker process."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def lease_ttl_from_env(default: float = DEFAULT_LEASE_TTL) -> float:
+    raw = os.environ.get(LEASE_TTL_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+# ------------------------------------------------------------------- lock
+
+
+class LockTimeout(RuntimeError):
+    """Raised when the store lock cannot be acquired within the timeout."""
+
+
+class StoreLock:
+    """Advisory exclusive lockfile around campaign-store appends.
+
+    Creation is ``O_CREAT|O_EXCL`` (atomic on every filesystem that
+    matters here); the file body is ``pid host``.  Liveness has two
+    tiers: a dead owner pid on the same host is detected immediately via
+    ``kill(pid, 0)``, and a cross-host (or unreadable) lock falls back to
+    the heartbeat mtime -- holders re-touch the file between shards, so
+    an mtime older than ``stale_after`` marks an abandoned lock.  Breaking
+    is rename-based: racing breakers rename the stale file aside, and only
+    the winner of that atomic rename unlinks it; everyone then races the
+    normal O_EXCL create.
+    """
+
+    def __init__(
+        self,
+        path: "Path | str",
+        timeout: float = DEFAULT_LOCK_TIMEOUT,
+        stale_after: float = DEFAULT_LOCK_STALE,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+        self.broken_stale = 0
+        """Stale locks this instance has broken (observability)."""
+        self._held = False
+
+    def acquire(self) -> "StoreLock":
+        deadline = time.monotonic() + self.timeout
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if self._break_if_stale():
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout:g}s (held by {self._describe_holder()})"
+                    )
+                time.sleep(self.poll_interval)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()} {socket.gethostname()}\n")
+            self._held = True
+            return self
+
+    def heartbeat(self) -> None:
+        """Refresh the lock's mtime so long shard executions under the
+        lock (not the normal pattern, but possible) never look stale."""
+        if self._held:
+            try:
+                os.utime(self.path)
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------ staleness
+
+    def _read_holder(self) -> Tuple[Optional[int], Optional[str], Optional[float]]:
+        """``(pid, host, mtime)`` of the current lock, or Nones if it
+        vanished or is unreadable (a lock mid-creation has no body yet)."""
+        try:
+            mtime = self.path.stat().st_mtime
+            body = self.path.read_text(encoding="utf-8").split()
+        except OSError:
+            return None, None, None
+        pid: Optional[int] = None
+        host: Optional[str] = None
+        if body:
+            try:
+                pid = int(body[0])
+            except ValueError:
+                pid = None
+        if len(body) > 1:
+            host = body[1]
+        return pid, host, mtime
+
+    def _describe_holder(self) -> str:
+        pid, host, _ = self._read_holder()
+        if pid is None:
+            return "unknown holder"
+        return f"pid {pid} on {host or 'unknown host'}"
+
+    def _is_stale(self) -> bool:
+        pid, host, mtime = self._read_holder()
+        if mtime is None:
+            return False  # lock vanished; retry the create immediately
+        if (
+            pid is not None
+            and host == socket.gethostname()
+            and not _pid_alive(pid)
+        ):
+            return True
+        return (time.time() - mtime) > self.stale_after
+
+    def _break_if_stale(self) -> bool:
+        """Atomically take a stale lock aside; True if this process won
+        the break (or the lock vanished) and should retry the create."""
+        if not self._is_stale():
+            return False
+        aside = self.path.with_name(
+            f"{self.path.name}.stale.{os.getpid()}"
+        )
+        try:
+            os.replace(self.path, aside)
+        except OSError:
+            return True  # another breaker won; the path is free to race
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+        self.broken_stale += 1
+        return True
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume alive
+        return True
+    return True
+
+
+# ------------------------------------------------------------------ leases
+
+
+@dataclass(frozen=True)
+class Lease:
+    """Latest lease state for one cell key."""
+
+    worker: str
+    state: str  # "claimed" | "released"
+    acquired_at: float
+
+    def is_held(self, now: float, ttl: float) -> bool:
+        return self.state == "claimed" and (now - self.acquired_at) < ttl
+
+    def is_stale(self, now: float, ttl: float) -> bool:
+        return self.state == "claimed" and (now - self.acquired_at) >= ttl
+
+
+def _key_to_json(key: RecordKey) -> list:
+    return [key[0], list(key[1])]
+
+
+def _key_from_json(raw) -> Optional[RecordKey]:
+    try:
+        scenario_hash, tokens = raw
+        return (str(scenario_hash), tuple(str(t) for t in tokens))
+    except (TypeError, ValueError):
+        return None
+
+
+class LeaseBoard:
+    """Append-only lease ledger in the store's ``.leases.jsonl`` sidecar.
+
+    One JSON object per line (``key``, ``worker``, ``state``, ``t``);
+    the latest line per key wins.  All mutation happens under the
+    :class:`StoreLock`, so appends never interleave; torn lines from a
+    crash are skipped on load exactly like the main store's.  The file is
+    coordination state, not campaign state: deleting it merely releases
+    every lease.
+    """
+
+    def __init__(
+        self, path: "Path | str", ttl: float = DEFAULT_LEASE_TTL
+    ) -> None:
+        self.path = Path(path)
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.ttl = ttl
+
+    def load(self) -> Dict[RecordKey, Lease]:
+        index: Dict[RecordKey, Lease] = {}
+        if not self.path.exists():
+            return index
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from a crash
+                key = _key_from_json(row.get("key"))
+                if key is None:
+                    continue
+                try:
+                    lease = Lease(
+                        worker=str(row["worker"]),
+                        state=str(row["state"]),
+                        acquired_at=float(row["t"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+                index[key] = lease
+        return index
+
+    def partition(
+        self,
+        pending: Sequence[RecordKey],
+        worker: str,
+        limit: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[List[RecordKey], List[Tuple[RecordKey, str]]]:
+        """Select up to ``limit`` claimable keys from ``pending`` in order.
+
+        Returns ``(claimable, reclaimed)`` where ``reclaimed`` pairs each
+        key taken over from a stale lease with the worker that abandoned
+        it.  Keys under a live lease held by *another* worker are skipped;
+        this worker's own live leases are re-claimable (it is resuming its
+        own work, e.g. after a lock-released retry).
+        """
+        if now is None:
+            now = time.time()
+        index = self.load()
+        claimable: List[RecordKey] = []
+        reclaimed: List[Tuple[RecordKey, str]] = []
+        for key in pending:
+            if limit is not None and len(claimable) >= limit:
+                break
+            lease = index.get(key)
+            if lease is not None and lease.is_held(now, self.ttl):
+                if lease.worker != worker:
+                    continue
+            if lease is not None and lease.is_stale(now, self.ttl):
+                reclaimed.append((key, lease.worker))
+            claimable.append(key)
+        return claimable, reclaimed
+
+    def claim(
+        self,
+        keys: Iterable[RecordKey],
+        worker: str,
+        now: Optional[float] = None,
+    ) -> None:
+        self._append(keys, worker, "claimed", now)
+
+    def release(
+        self,
+        keys: Iterable[RecordKey],
+        worker: str,
+        now: Optional[float] = None,
+    ) -> None:
+        self._append(keys, worker, "released", now)
+
+    def _append(
+        self,
+        keys: Iterable[RecordKey],
+        worker: str,
+        state: str,
+        now: Optional[float],
+    ) -> None:
+        rows = [
+            {
+                "key": _key_to_json(key),
+                "worker": worker,
+                "state": state,
+                "t": now if now is not None else time.time(),
+            }
+            for key in keys
+        ]
+        if not rows:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Same torn-trailing-line probe as the main store: a crash mid-
+        # lease-write must not glue the next lease onto the torn line.
+        needs_newline = _needs_newline(self.path)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            for row in rows:
+                handle.write(
+                    json.dumps(row, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def _needs_newline(path: Path) -> bool:
+    """Whether ``path`` ends mid-line (torn write) and needs termination
+    before the next append."""
+    try:
+        if path.stat().st_size == 0:
+            return False
+    except OSError:
+        return False
+    with open(path, "rb") as probe:
+        probe.seek(-1, os.SEEK_END)
+        return probe.read(1) != b"\n"
+
+
+# ------------------------------------------------------------- shutdown
+
+
+class GracefulShutdown:
+    """Latch SIGINT/SIGTERM instead of dying mid-shard.
+
+    Inside the context the default handlers are replaced (main thread
+    only; elsewhere the latch simply never fires) by one that records the
+    signal.  The campaign loop polls :attr:`requested` between shards,
+    finishes + appends the in-flight shard, releases its leases, and the
+    CLI exits ``128 + signum`` -- 130 for SIGINT, the interrupted-but-
+    resumable convention.
+    """
+
+    SIGNALS = ("SIGINT", "SIGTERM")
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + (self.signum or 2)
+
+    def _handler(self, signum, frame) -> None:
+        self.requested = True
+        self.signum = signum
+
+    def __enter__(self) -> "GracefulShutdown":
+        import signal as signal_module
+        import threading
+
+        if threading.current_thread() is not threading.main_thread():
+            return self  # signals only deliver to the main thread
+        for name in self.SIGNALS:
+            signum = getattr(signal_module, name, None)
+            if signum is None:  # pragma: no cover - platform-dependent
+                continue
+            try:
+                self._previous[signum] = signal_module.signal(
+                    signum, self._handler
+                )
+            except (ValueError, OSError):  # pragma: no cover - embedded use
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import signal as signal_module
+
+        for signum, previous in self._previous.items():
+            try:
+                signal_module.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
+
+
+# --------------------------------------------------------------- merging
+
+
+class MergeConflictError(RuntimeError):
+    """Two ``ok`` records for the same key disagree on result content.
+
+    This is never a coordination race -- cell execution is deterministic
+    by construction -- so a true ok/ok conflict means the stores were
+    produced by semantically different code or inputs and must not be
+    silently merged.  ``conflicts`` lists ``(key, details)`` pairs.
+    """
+
+    def __init__(self, conflicts: List[Tuple[RecordKey, str]]) -> None:
+        self.conflicts = conflicts
+        preview = "; ".join(detail for _, detail in conflicts[:3])
+        more = "" if len(conflicts) <= 3 else f" (+{len(conflicts) - 3} more)"
+        super().__init__(
+            f"{len(conflicts)} ok/ok content conflict(s): {preview}{more}"
+        )
+
+
+@dataclass
+class MergeResult:
+    """Accounting for one :func:`merge_stores` pass."""
+
+    records: List[CellRecord] = field(default_factory=list)
+    input_records: int = 0
+    ok_cells: int = 0
+    failed_cells: int = 0
+    duplicates_collapsed: int = 0
+
+    def summary_line(self) -> str:
+        return (
+            f"cells={len(self.records)} ok={self.ok_cells} "
+            f"failed={self.failed_cells} inputs={self.input_records} "
+            f"collapsed={self.duplicates_collapsed}"
+        )
+
+
+def _record_content(record: CellRecord) -> dict:
+    """The comparable payload of a record: everything except provenance
+    (git sha / package version legitimately differ across workers that
+    ran the same code state on different checkouts of the same commit --
+    but metrics, status and failures must agree)."""
+    data = record.to_dict()
+    data.pop("git_sha", None)
+    data.pop("version", None)
+    return data
+
+
+def _canonical_sort_key(record: CellRecord):
+    return (record.scenario, record.scenario_hash, record.cell_key,
+            record.tokens)
+
+
+def canonical_records(
+    stores: Sequence["CampaignStore | Path | str"],
+) -> Tuple[Dict[RecordKey, List[CellRecord]], int]:
+    """Latest record per key *per store*, plus the total line count.
+
+    Returns ``(key -> [latest record from each store, in store order],
+    total input records)``."""
+    per_key: Dict[RecordKey, List[CellRecord]] = {}
+    total = 0
+    for raw in stores:
+        store = raw if isinstance(raw, CampaignStore) else CampaignStore(raw)
+        index = store.load()
+        total += store.load_stats.records
+        for key, record in index.items():
+            per_key.setdefault(key, []).append(record)
+    return per_key, total
+
+
+def merge_stores(
+    inputs: Sequence["CampaignStore | Path | str"],
+    output: "CampaignStore | Path | str | None" = None,
+) -> MergeResult:
+    """Merge N campaign stores into one canonical store.
+
+    Semantics per key: the latest record of each input store is a
+    candidate; any ``ok`` candidate beats every non-ok one (latest-ok-
+    wins); multiple ``ok`` candidates must agree on content (provenance
+    fields aside) or the merge raises :class:`MergeConflictError`; with
+    no ``ok`` candidate, the last input's record wins.  The output is
+    written atomically in canonical sorted order, which makes the merge
+    idempotent: ``merge(merge(A, B), B) == merge(A, B)`` byte-for-byte.
+
+    ``output`` may be one of the inputs (everything is read before the
+    atomic replace) or ``None`` to merge without writing.
+    """
+    per_key, total = canonical_records(inputs)
+    result = MergeResult(input_records=total)
+    conflicts: List[Tuple[RecordKey, str]] = []
+    for key in sorted(per_key, key=lambda k: (k[0], k[1])):
+        candidates = per_key[key]
+        ok = [r for r in candidates if r.status == "ok"]
+        if ok:
+            baseline = _record_content(ok[0])
+            for other in ok[1:]:
+                if _record_content(other) != baseline:
+                    conflicts.append((
+                        key,
+                        f"{other.scenario}/{other.cell_key}: two ok records "
+                        "disagree on content",
+                    ))
+                    break
+            winner = ok[0]
+            result.ok_cells += 1
+        else:
+            winner = candidates[-1]
+            result.failed_cells += 1
+        result.duplicates_collapsed += len(candidates) - 1
+        result.records.append(winner)
+    if conflicts:
+        raise MergeConflictError(conflicts)
+    result.records.sort(key=_canonical_sort_key)
+    if output is not None:
+        out_store = (
+            output
+            if isinstance(output, CampaignStore)
+            else CampaignStore(output)
+        )
+        _write_canonical(out_store.path, result.records)
+    return result
+
+
+def _write_canonical(path: Path, records: Sequence[CellRecord]) -> None:
+    """Atomically (re)write ``path`` as one canonical record per line."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".merge-tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(record.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+            )
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def store_fingerprint(store: "CampaignStore | Path | str") -> bytes:
+    """Canonical bytes of a store's settled cells: latest record per key,
+    sorted, serialized exactly as the store writes them.  Two stores with
+    equal fingerprints settled every cell identically, regardless of
+    append interleaving -- the equality chaos/convergence tests assert.
+    """
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore(store)
+    index = store.load()
+    lines = [
+        json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+        for record in sorted(index.values(), key=_canonical_sort_key)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""

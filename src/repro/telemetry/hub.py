@@ -170,6 +170,33 @@ class Telemetry:
                 0.0, "scenario", status, scenario=scenario, cell=cell_key,
             )
 
+    # ------------------------------------------------------ resilience hooks
+
+    def on_lease_reclaim(self, previous_worker: str) -> None:
+        """Record one stale campaign lease reclaimed from a dead worker
+        (its cell re-runs on the reclaiming worker)."""
+        self.registry.counter("campaign_lease_reclaims_total").inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("resilience"):
+            recorder.emit(
+                0.0, "resilience", "lease_reclaim", worker=previous_worker,
+            )
+
+    def on_cache_corrupt(self, entry: str) -> None:
+        """Record one result-cache entry failing its checksum and being
+        quarantined to ``*.corrupt``."""
+        self.registry.counter("cache_corrupt_total").inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("resilience"):
+            recorder.emit(0.0, "resilience", "cache_corrupt", entry=entry)
+
+    def on_chaos_injection(self, mode: str) -> None:
+        """Record one fired ``REPRO_CHAOS`` injection (testing only)."""
+        self.registry.counter("chaos_injections_total", mode=mode).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("resilience"):
+            recorder.emit(0.0, "resilience", "chaos_injection", mode=mode)
+
     # ------------------------------------------------------ data-plane hooks
 
     def on_enqueue(self, port, packet, now: float) -> None:

@@ -69,6 +69,11 @@ class RunManifest:
     events: Optional[int] = None
     scheduler: Optional[str] = None
     """Event-queue implementation the run used (``repro.sim.eventq``)."""
+    retry_backoff: Optional[float] = None
+    """Base seconds of the executor's seeded retry backoff, when enabled
+    (``--retry-backoff`` / ``REPRO_RETRY_BACKOFF``): delays are a pure
+    function of (spec token, attempt, this base), so recording the base
+    makes retried runs bit-reproducible end to end."""
 
     @classmethod
     def collect(

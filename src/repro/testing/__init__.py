@@ -1,0 +1,32 @@
+"""Deterministic failure-injection utilities for resilience testing.
+
+:mod:`repro.testing.chaos` is the campaign-level analogue of the
+executor's ``REPRO_FAULT_INJECT`` hook (see
+:mod:`repro.experiments.faults`): where fault injection kills individual
+*cells*, chaos injection kills whole *processes* at precisely counted
+store/cache interaction points, so the multi-writer coordination and
+store-merge layers can be proven convergent under crashes, torn writes
+and cache corruption without flaky timing.
+"""
+
+from .chaos import (
+    CHAOS_ENV,
+    ChaosReport,
+    chaos_cache_store,
+    chaos_enabled,
+    chaos_store_append,
+    parse_chaos_directives,
+    reset_chaos_counts,
+    run_chaos_campaign,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosReport",
+    "chaos_cache_store",
+    "chaos_enabled",
+    "chaos_store_append",
+    "parse_chaos_directives",
+    "reset_chaos_counts",
+    "run_chaos_campaign",
+]

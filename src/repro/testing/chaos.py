@@ -1,0 +1,375 @@
+"""Deterministic chaos injection for campaign resilience testing.
+
+``REPRO_CHAOS`` holds ``;``-separated directives, each ``mode[:N]`` with
+``N`` defaulting to 1.  Counters are per-process (workers spawned with the
+variable inherit it at exec), so a directive fires at an exactly counted
+interaction point rather than at a wall-clock instant -- the same
+philosophy as ``REPRO_FAULT_INJECT`` one layer down:
+
+* ``kill_after:N`` -- ``os._exit(137)`` immediately *after* the N-th
+  campaign-store append has been written and fsynced.  The shard's records
+  are durable but the resources sidecar and any lease releases are not:
+  the SIGKILL analogue for "crashed between append and cleanup".
+* ``kill_before:N`` -- ``os._exit(137)`` immediately *before* the N-th
+  store append writes anything.  Claimed leases are left dangling, so this
+  is the deterministic way to exercise stale-lease reclamation.
+* ``torn_write:N`` -- the N-th store append writes only a prefix of its
+  first record (no trailing newline), fsyncs the torn line, then exits
+  137.  Exercises the torn-line probe and skip-on-load paths.
+* ``corrupt_cache:N`` -- the N-th result-cache store is truncated after
+  being written, so a later load sees a checksum mismatch and must
+  quarantine the entry.  The process keeps running.
+
+Injections that survive long enough to report (``corrupt_cache``, and the
+pre-exit moment of the kill/tear modes) increment the
+``chaos_injections_total{mode=...}`` counter and emit a ``resilience``
+trace event on the active telemetry.
+
+:func:`run_chaos_campaign` is the driving harness: it spawns
+``repro scenario run --shared`` worker subprocesses in rounds -- chaos
+directives applied to the first ``chaos_rounds`` rounds, clean reruns
+after that -- until the campaign converges (a clean pass that executes
+nothing, fails nothing, and skips every cell).  Tests then assert the
+surviving store is equivalent to an uninterrupted single-writer run via
+:func:`repro.scenarios.coordination.store_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosReport",
+    "chaos_cache_store",
+    "chaos_enabled",
+    "chaos_store_append",
+    "parse_chaos_directives",
+    "reset_chaos_counts",
+    "run_chaos_campaign",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+CHAOS_EXIT_CODE = 137
+"""Exit status used by the kill/tear modes (the SIGKILL convention)."""
+
+_MODES = ("kill_after", "kill_before", "torn_write", "corrupt_cache")
+
+# Per-process interaction counters, keyed by chaos point name.  Workers
+# inherit REPRO_CHAOS through the environment but never these counts, so
+# every process counts its own interactions from zero.
+_COUNTS: Dict[str, int] = {}
+
+
+def chaos_enabled() -> bool:
+    """Cheap guard the instrumented hot points check first."""
+    return bool(os.environ.get(CHAOS_ENV, "").strip())
+
+
+def reset_chaos_counts() -> None:
+    """Zero the per-process interaction counters (test isolation)."""
+    _COUNTS.clear()
+
+
+def parse_chaos_directives(
+    raw: Optional[str] = None,
+) -> Tuple[Tuple[str, int], ...]:
+    """Parse ``REPRO_CHAOS`` into ``(mode, n)`` pairs.
+
+    Unknown modes or malformed counts warn and are skipped -- a chaos typo
+    must degrade to "no injection", never take down a real campaign.
+    """
+    if raw is None:
+        raw = os.environ.get(CHAOS_ENV, "")
+    directives: List[Tuple[str, int]] = []
+    for part in raw.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        mode = pieces[0].strip().lower()
+        if mode not in _MODES:
+            warnings.warn(
+                f"{CHAOS_ENV}: unknown mode {mode!r} in {part!r} "
+                f"(expected one of {_MODES}); directive skipped",
+                stacklevel=2,
+            )
+            continue
+        n = 1
+        if len(pieces) > 1 and pieces[1].strip():
+            try:
+                n = int(pieces[1])
+            except ValueError:
+                warnings.warn(
+                    f"{CHAOS_ENV}: count {pieces[1]!r} in {part!r} is not an "
+                    "integer; directive skipped",
+                    stacklevel=2,
+                )
+                continue
+            if n < 1:
+                warnings.warn(
+                    f"{CHAOS_ENV}: count in {part!r} must be >= 1; "
+                    "directive skipped",
+                    stacklevel=2,
+                )
+                continue
+        directives.append((mode, n))
+    return tuple(directives)
+
+
+def _bump(point: str) -> int:
+    _COUNTS[point] = _COUNTS.get(point, 0) + 1
+    return _COUNTS[point]
+
+
+def _record_injection(mode: str) -> None:
+    """Count the injection on the active telemetry (best-effort: the
+    process may be about to _exit, and chaos must never raise)."""
+    try:
+        from ..telemetry.runtime import get_active
+
+        telemetry = get_active()
+        if telemetry is not None:
+            telemetry.on_chaos_injection(mode)
+    except Exception:  # pragma: no cover - defensive: chaos must not raise
+        pass
+
+
+def _tear(payload: str) -> str:
+    """Truncate a shard payload mid-first-record, no trailing newline --
+    exactly what a crash mid-``write(2)`` leaves behind."""
+    first_line = payload.split("\n", 1)[0]
+    return first_line[: max(1, len(first_line) // 2)]
+
+
+def chaos_store_append(payload: str) -> Tuple[str, bool]:
+    """Chaos hook for :meth:`CampaignStore.append`.
+
+    Called with the shard's full serialized payload before it is written.
+    Returns ``(payload_to_write, die_after_write)``; ``kill_before``
+    directives exit here without writing anything.
+    """
+    if not chaos_enabled():
+        return payload, False
+    count = _bump("store_append")
+    for mode, n in parse_chaos_directives():
+        if count != n:
+            continue
+        if mode == "kill_before":
+            _record_injection(mode)
+            os._exit(CHAOS_EXIT_CODE)
+        if mode == "torn_write":
+            _record_injection(mode)
+            return _tear(payload), True
+        if mode == "kill_after":
+            _record_injection(mode)
+            return payload, True
+    return payload, False
+
+
+def chaos_cache_store(path: "Path | str") -> None:
+    """Chaos hook for :meth:`ResultCache.store`, called after the entry is
+    atomically in place: ``corrupt_cache`` truncates it so the checksum
+    footer no longer matches (simulated on-disk corruption)."""
+    if not chaos_enabled():
+        return
+    count = _bump("cache_store")
+    for mode, n in parse_chaos_directives():
+        if mode != "corrupt_cache" or count != n:
+            continue
+        _record_injection(mode)
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:  # pragma: no cover - corruption is best-effort
+            pass
+
+
+# ----------------------------------------------------------------- harness
+
+
+_SUMMARY_RE = re.compile(
+    r"# campaign: cells=(\d+) executed=(\d+) skipped=(\d+) failed=(\d+)"
+)
+
+
+@dataclass
+class ChaosRound:
+    """One harness round: the exit code and parsed summary per writer."""
+
+    chaos: str
+    exit_codes: List[int] = field(default_factory=list)
+    summaries: List[Optional[dict]] = field(default_factory=list)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos_campaign` drive."""
+
+    store: Path
+    rounds: List[ChaosRound] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def kill_count(self) -> int:
+        return sum(
+            1
+            for r in self.rounds
+            for code in r.exit_codes
+            if code == CHAOS_EXIT_CODE
+        )
+
+
+def _parse_summary(stdout: str) -> Optional[dict]:
+    match = None
+    for match in _SUMMARY_RE.finditer(stdout):
+        pass  # keep the last summary line
+    if match is None:
+        return None
+    cells, executed, skipped, failed = (int(g) for g in match.groups())
+    return {
+        "cells": cells,
+        "executed": executed,
+        "skipped": skipped,
+        "failed": failed,
+        "reclaimed": sum(
+            int(m) for m in re.findall(r"reclaimed=(\d+)", stdout)
+        ),
+    }
+
+
+def _wait_for_claim(
+    proc: "subprocess.Popen",
+    leases_path: Path,
+    size_before: int,
+    deadline: float = 10.0,
+) -> None:
+    """Block until a chaos-armed writer has claimed its first shard (the
+    lease ledger grew) or exited.  Without this, a fast clean peer can
+    finish the whole campaign before the armed writer reaches its
+    injection point, making the round vacuously chaos-free."""
+    until = time.monotonic() + deadline
+    while time.monotonic() < until:
+        if proc.poll() is not None:
+            return
+        try:
+            if leases_path.stat().st_size > size_before:
+                return
+        except OSError:
+            pass
+        time.sleep(0.02)
+
+
+def run_chaos_campaign(
+    scenario_path: "Path | str",
+    store: "Path | str",
+    chaos: str = "kill_after:1",
+    writers: int = 1,
+    chaos_rounds: int = 1,
+    max_rounds: int = 12,
+    lease_ttl: float = 0.5,
+    lock_timeout: float = 20.0,
+    cache_dir: "Path | str | None" = None,
+    extra_args: Sequence[str] = (),
+    timeout: float = 180.0,
+) -> ChaosReport:
+    """Drive a shared campaign under chaos until it converges.
+
+    Each round launches ``writers`` concurrent ``repro scenario run
+    --shared`` subprocesses against the same ``store``; rounds numbered
+    below ``chaos_rounds`` carry ``REPRO_CHAOS=chaos`` (per-writer: only
+    the *first* writer of a round gets the chaos environment, so at least
+    one writer per round can make untainted progress; peers are held back
+    until the armed writer has claimed its first shard, so the injection
+    point is guaranteed to be reached), later rounds run clean.  Convergence is a clean round in which some writer reports
+    ``executed=0 failed=0`` with every cell skipped.  Returns a
+    :class:`ChaosReport`; asserting store equivalence against a clean run
+    is the caller's job (see ``store_fingerprint``).
+    """
+    store = Path(store)
+    report = ChaosReport(store=store)
+    base_env = dict(os.environ)
+    base_env.pop(CHAOS_ENV, None)
+    if cache_dir is not None:
+        base_env["REPRO_CACHE_DIR"] = str(cache_dir)
+    leases_path = store.with_name(store.stem + ".leases.jsonl")
+    for round_index in range(max_rounds):
+        inject = round_index < chaos_rounds
+        round_report = ChaosRound(chaos=chaos if inject else "")
+        try:
+            leases_size = leases_path.stat().st_size
+        except OSError:
+            leases_size = 0
+        procs = []
+        for writer_index in range(writers):
+            env = dict(base_env)
+            if inject and writer_index == 0:
+                env[CHAOS_ENV] = chaos
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro",
+                "scenario",
+                "run",
+                str(scenario_path),
+                "--store",
+                str(store),
+                "--shared",
+                "--worker-id",
+                f"chaos-r{round_index}-w{writer_index}",
+                "--lease-ttl",
+                str(lease_ttl),
+                "--lock-timeout",
+                str(lock_timeout),
+                *extra_args,
+            ]
+            procs.append(
+                subprocess.Popen(
+                    cmd,
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                )
+            )
+            if inject and writer_index == 0 and writers > 1:
+                _wait_for_claim(procs[0], leases_path, leases_size)
+        outputs = []
+        for proc in procs:
+            try:
+                out, _ = proc.communicate(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                proc.kill()
+                out, _ = proc.communicate()
+            outputs.append(out or "")
+            round_report.exit_codes.append(proc.returncode)
+        round_report.summaries = [_parse_summary(out) for out in outputs]
+        report.rounds.append(round_report)
+        if not inject:
+            for summary in round_report.summaries:
+                if (
+                    summary is not None
+                    and summary["executed"] == 0
+                    and summary["failed"] == 0
+                    and summary["skipped"] == summary["cells"]
+                ):
+                    report.converged = True
+                    return report
+        # Give dangling leases from a killed writer time to expire before
+        # the next round tries to reclaim them.
+        time.sleep(lease_ttl)
+    return report

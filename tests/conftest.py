@@ -24,6 +24,9 @@ def _hermetic_executor(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
     monkeypatch.delenv("REPRO_STALL_EVENTS", raising=False)
     monkeypatch.delenv("REPRO_AQM_PERTURB", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_RETRY_BACKOFF", raising=False)
+    monkeypatch.delenv("REPRO_LEASE_TTL", raising=False)
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     previous = set_default_executor(None)
     yield

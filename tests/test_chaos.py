@@ -1,0 +1,252 @@
+"""Tests for deterministic chaos injection: directive parsing, the
+injection points, and subprocess convergence of shared campaigns under
+kills, torn writes and cache corruption."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.testing.chaos as chaos
+from repro.experiments.executor import Executor
+from repro.scenarios import CampaignStore, run_campaign, store_fingerprint
+from repro.scenarios.coordination import merge_stores
+from repro.telemetry import Telemetry, activate
+from repro.testing import parse_chaos_directives, run_chaos_campaign
+
+from test_executor import tiny_spec
+from test_scenarios_campaign import executor, tiny_scenario
+
+
+@pytest.fixture(autouse=True)
+def _fresh_chaos_counts():
+    chaos.reset_chaos_counts()
+    yield
+    chaos.reset_chaos_counts()
+
+
+class TestDirectiveGrammar:
+    def test_modes_and_counts(self):
+        assert parse_chaos_directives("kill_after") == (("kill_after", 1),)
+        assert parse_chaos_directives("torn_write:3") == (("torn_write", 3),)
+        assert parse_chaos_directives(
+            "kill_before:2; corrupt_cache"
+        ) == (("kill_before", 2), ("corrupt_cache", 1))
+
+    def test_empty_is_no_directives(self):
+        assert parse_chaos_directives("") == ()
+        assert parse_chaos_directives(" ; ") == ()
+
+    def test_unknown_mode_warns_and_skips(self):
+        with pytest.warns(UserWarning, match="unknown mode"):
+            directives = parse_chaos_directives("explode:1;kill_after:2")
+        assert directives == (("kill_after", 2),)
+
+    def test_bad_count_warns_and_skips(self):
+        with pytest.warns(UserWarning, match="not an integer"):
+            assert parse_chaos_directives("kill_after:soon") == ()
+        with pytest.warns(UserWarning, match=">= 1"):
+            assert parse_chaos_directives("kill_after:0") == ()
+
+    def test_reads_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "kill_after:4")
+        assert parse_chaos_directives() == (("kill_after", 4),)
+
+
+class TestInjectionPoints:
+    def test_tear_truncates_first_record_without_newline(self):
+        payload = '{"record": "one"}\n{"record": "two"}\n'
+        torn = chaos._tear(payload)
+        assert torn == '{"record'
+        assert not torn.endswith("\n")
+
+    def test_disabled_is_a_passthrough(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        assert chaos.chaos_store_append("x\n") == ("x\n", False)
+
+    def test_kill_after_fires_on_the_counted_append(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "kill_after:2")
+        assert chaos.chaos_store_append("a\n") == ("a\n", False)
+        assert chaos.chaos_store_append("b\n") == ("b\n", True)
+        assert chaos.chaos_store_append("c\n") == ("c\n", False)
+
+    def test_torn_write_returns_torn_payload_and_dies(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "torn_write:1")
+        payload = '{"record": "one"}\n'
+        torn, die = chaos.chaos_store_append(payload)
+        assert die
+        assert torn == chaos._tear(payload)
+
+    def test_kill_before_exits_without_writing(self, monkeypatch):
+        class Exited(BaseException):
+            pass
+
+        def fake_exit(code):
+            raise Exited(code)
+
+        monkeypatch.setenv(chaos.CHAOS_ENV, "kill_before:1")
+        monkeypatch.setattr(os, "_exit", fake_exit)
+        with pytest.raises(Exited):
+            chaos.chaos_store_append("a\n")
+
+    def test_corrupt_cache_truncates_entry(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "corrupt_cache:1")
+        victim = tmp_path / "entry.pkl"
+        victim.write_bytes(b"x" * 100)
+        telemetry = Telemetry(trace=True, trace_categories=["resilience"])
+        with activate(telemetry):
+            chaos.chaos_cache_store(victim)
+        assert victim.stat().st_size == 50
+        registry = telemetry.registry
+        assert (
+            registry.counter(
+                "chaos_injections_total", mode="corrupt_cache"
+            ).value
+            == 1
+        )
+        kinds = [e.kind for e in telemetry.recorder.events("resilience")]
+        assert kinds == ["chaos_injection"]
+
+
+class TestInProcessChaosCampaign:
+    def test_torn_write_heals_on_resume(self, monkeypatch, tmp_path):
+        """A torn shard append (chaos in-process, with os._exit stubbed to
+        an exception) leaves a store whose resume converges byte-for-byte
+        in content to a clean run's fingerprint."""
+
+        class Exited(BaseException):
+            pass
+
+        monkeypatch.setattr(os, "_exit", lambda code: (_ for _ in ()).throw(
+            Exited(code)
+        ))
+        scenario = tiny_scenario()
+        store = tmp_path / "chaotic.jsonl"
+        monkeypatch.setenv(chaos.CHAOS_ENV, "torn_write:1")
+        with pytest.raises(Exited):
+            run_campaign([scenario], store, executor())
+        raw = store.read_bytes()
+        assert raw and not raw.endswith(b"\n")  # genuinely torn
+
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+        chaos.reset_chaos_counts()
+        with pytest.warns(UserWarning, match="unreadable record"):
+            resumed = run_campaign([scenario], store, executor())
+        assert resumed.executed_cells == 2  # the torn shard re-ran
+
+        clean = tmp_path / "clean.jsonl"
+        run_campaign([scenario], clean, executor())
+        with pytest.warns(UserWarning, match="unreadable record"):
+            chaotic_fingerprint = store_fingerprint(store)
+        assert chaotic_fingerprint == store_fingerprint(clean)
+
+    def test_corrupt_cache_entry_quarantined_on_reread(
+        self, monkeypatch, tmp_path
+    ):
+        spec = tiny_spec()
+        monkeypatch.setenv(chaos.CHAOS_ENV, "corrupt_cache:1")
+        first = Executor(jobs=1, cache=True, cache_dir=tmp_path, retries=0)
+        baseline = first.run([spec])[0]
+
+        monkeypatch.delenv(chaos.CHAOS_ENV)
+        second = Executor(jobs=1, cache=True, cache_dir=tmp_path, retries=0)
+        telemetry = Telemetry()
+        with activate(telemetry):
+            with pytest.warns(UserWarning, match="quarantined"):
+                again = second.run([spec])[0]
+        assert second.stats.cache_hits == 0  # never silently re-read
+        assert second.stats.executed == 1
+        assert second.cache.corrupt_quarantined == 1
+        assert telemetry.registry.counter("cache_corrupt_total").value == 1
+        assert list(tmp_path.glob("*.corrupt"))
+        assert again.summary.overall_avg == baseline.summary.overall_avg
+
+
+def write_scenario(tmp_path) -> Path:
+    """The tiny two-cell scenario as a JSON file for subprocess workers."""
+    import json
+
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(tiny_scenario().to_dict()))
+    return path
+
+
+def clean_fingerprint(tmp_path) -> bytes:
+    store = tmp_path / "clean.jsonl"
+    run_campaign([tiny_scenario()], store, executor())
+    return store_fingerprint(store)
+
+
+@pytest.fixture()
+def subprocess_env(monkeypatch, tmp_path):
+    """Subprocess workers must import repro and share this test's cache."""
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    monkeypatch.setenv(
+        "PYTHONPATH", src + (os.pathsep + existing if existing else "")
+    )
+
+
+class TestConvergence:
+    """End-to-end: shared campaigns driven to convergence under chaos must
+    settle a store whose cell records exactly match a clean single-writer
+    run -- no duplicated and no lost cells."""
+
+    def test_two_writers_survive_kill_and_cache_corruption(
+        self, subprocess_env, tmp_path
+    ):
+        scenario_path = write_scenario(tmp_path)
+        store = tmp_path / "shared.jsonl"
+        report = run_chaos_campaign(
+            scenario_path, store,
+            chaos="kill_after:1;corrupt_cache:1",
+            writers=2, chaos_rounds=1, lease_ttl=0.75,
+        )
+        assert report.converged, [r.summaries for r in report.rounds]
+        assert report.kill_count >= 1
+        assert store_fingerprint(store) == clean_fingerprint(tmp_path)
+        # Merging the survivor store with a clean store must be a clean,
+        # conflict-free collapse (determinism held under chaos).
+        clean = tmp_path / "clean.jsonl"
+        merged = merge_stores([store, clean], output=tmp_path / "m.jsonl")
+        assert len(merged.records) == 2
+        assert merged.ok_cells == 2
+
+    def test_torn_write_converges_and_is_counted(
+        self, subprocess_env, tmp_path
+    ):
+        scenario_path = write_scenario(tmp_path)
+        store = tmp_path / "shared.jsonl"
+        report = run_chaos_campaign(
+            scenario_path, store, chaos="torn_write:1",
+            writers=1, chaos_rounds=1, lease_ttl=0.75,
+        )
+        assert report.converged, [r.summaries for r in report.rounds]
+        assert report.rounds[0].exit_codes == [chaos.CHAOS_EXIT_CODE]
+        campaign_store = CampaignStore(store)
+        with pytest.warns(UserWarning, match="unreadable record"):
+            fingerprint = store_fingerprint(campaign_store)
+        assert fingerprint == clean_fingerprint(tmp_path)
+        assert campaign_store.load_stats.torn_lines == 1
+
+    def test_kill_before_reclaims_dead_workers_cells_exactly_once(
+        self, subprocess_env, tmp_path
+    ):
+        scenario_path = write_scenario(tmp_path)
+        store = tmp_path / "shared.jsonl"
+        report = run_chaos_campaign(
+            scenario_path, store, chaos="kill_before:1",
+            writers=1, chaos_rounds=1, lease_ttl=0.75,
+        )
+        assert report.converged, [r.summaries for r in report.rounds]
+        assert report.rounds[0].exit_codes == [chaos.CHAOS_EXIT_CODE]
+        summaries = [
+            s for r in report.rounds for s in r.summaries if s is not None
+        ]
+        # The killed worker appended nothing, so the reclaiming pass
+        # re-recorded each of its cells exactly once, via stale leases.
+        assert sum(s["executed"] for s in summaries) == 2
+        assert sum(s["reclaimed"] for s in summaries) == 2
+        assert len(store.read_text().splitlines()) == 2  # no duplicates
+        assert store_fingerprint(store) == clean_fingerprint(tmp_path)

@@ -1,11 +1,15 @@
-"""Tests for run specs, the parallel executor, and the result cache."""
+"""Tests for run specs, the parallel executor, the result cache (with
+checksum integrity and gc), and deterministic retry backoff."""
 
+import os
 import pickle
+import time
 
 import pytest
 
-from repro.core.red import SojournRed
 from repro.experiments.executor import (
+    _CHECKSUM_MAGIC,
+    CacheGcStats,
     Executor,
     ResultCache,
     get_default_executor,
@@ -13,6 +17,8 @@ from repro.experiments.executor import (
     seed_specs,
     set_default_executor,
 )
+from repro.core.red import SojournRed
+from repro.telemetry import Telemetry, activate
 from repro.experiments.runner import pool_results
 from repro.experiments.schemes import build_aqm
 from repro.experiments.schemes import testbed_scheme_specs as make_testbed_scheme_specs
@@ -182,7 +188,11 @@ class TestResultCache:
         before = cache.key(spec)
         import repro.experiments.executor as executor_module
 
-        monkeypatch.setattr(executor_module, "CACHE_SCHEMA_VERSION", 2)
+        monkeypatch.setattr(
+            executor_module,
+            "CACHE_SCHEMA_VERSION",
+            executor_module.CACHE_SCHEMA_VERSION + 1,
+        )
         assert cache.key(spec) != before
 
     def test_missing_entry_is_a_miss(self, tmp_path):
@@ -203,6 +213,189 @@ class TestResultCache:
             cache.store(spec, lambda: None)  # lambdas cannot pickle
         assert cache.load(spec) == (False, None)
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCacheIntegrity:
+    def test_entries_carry_a_checksum_footer(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.store(spec, {"answer": 42})
+        blob = cache.path(spec).read_bytes()
+        assert _CHECKSUM_MAGIC in blob
+        assert cache.load(spec) == (True, {"answer": 42})
+        assert cache.corrupt_quarantined == 0
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.store(spec, {"answer": 42})
+        path = cache.path(spec)
+        path.write_bytes(path.read_bytes()[:-4])  # lose the digest tail
+        telemetry = Telemetry()
+        with activate(telemetry):
+            with pytest.warns(UserWarning, match="quarantined"):
+                assert cache.load(spec) == (False, None)
+        assert cache.corrupt_quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert telemetry.registry.counter("cache_corrupt_total").value == 1
+        # the quarantined entry is gone, so a re-load is a plain miss
+        assert cache.load(spec) == (False, None)
+        assert cache.corrupt_quarantined == 1
+
+    def test_legacy_footerless_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        path = cache.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"spec": spec.to_dict()}))
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert cache.load(spec) == (False, None)
+
+    def test_checksum_valid_but_unpicklable_is_plain_miss(self, tmp_path):
+        """Environment mismatch (valid bytes this env cannot unpickle) must
+        not be treated as corruption: the entry stays."""
+        import hashlib
+
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        payload = b"\x80\x05not really a pickle"
+        path = cache.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            payload + _CHECKSUM_MAGIC + hashlib.sha256(payload).digest()
+        )
+        assert cache.load(spec) == (False, None)
+        assert cache.corrupt_quarantined == 0
+        assert path.exists()
+
+
+class TestCacheGc:
+    def entry(self, tmp_path, name, size=100, age=0.0, now=None):
+        path = tmp_path / name
+        path.write_bytes(b"x" * size)
+        if age:
+            stamp = (now or time.time()) - age
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_removes_corrupt_and_tmp_always(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.entry(tmp_path, "a.pkl")
+        self.entry(tmp_path, "b.pkl.corrupt")
+        self.entry(tmp_path, "c.tmp")
+        self.entry(tmp_path, "unrelated.txt")
+        stats = cache.gc()
+        assert stats.scanned == 3  # unrelated files are not ours
+        assert stats.removed == 2
+        assert stats.corrupt_removed == 1
+        assert stats.kept == 1
+        assert (tmp_path / "a.pkl").exists()
+        assert not (tmp_path / "b.pkl.corrupt").exists()
+        assert not (tmp_path / "c.tmp").exists()
+
+    def test_keep_corrupt_for_inspection(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.entry(tmp_path, "b.pkl.corrupt")
+        stats = cache.gc(remove_corrupt=False)
+        assert stats.corrupt_removed == 0
+        assert (tmp_path / "b.pkl.corrupt").exists()
+
+    def test_age_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        self.entry(tmp_path, "old.pkl", age=3600, now=now)
+        self.entry(tmp_path, "new.pkl", age=10, now=now)
+        stats = cache.gc(max_age_seconds=600, now=now)
+        assert stats.removed == 1
+        assert not (tmp_path / "old.pkl").exists()
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_size_retention_keeps_newest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        self.entry(tmp_path, "oldest.pkl", size=100, age=300, now=now)
+        self.entry(tmp_path, "middle.pkl", size=100, age=200, now=now)
+        self.entry(tmp_path, "newest.pkl", size=100, age=100, now=now)
+        stats = cache.gc(max_bytes=250, now=now)
+        assert stats.kept == 2
+        assert stats.kept_bytes == 200
+        assert not (tmp_path / "oldest.pkl").exists()
+        assert (tmp_path / "newest.pkl").exists()
+        assert (tmp_path / "middle.pkl").exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        stats = ResultCache(tmp_path / "absent").gc(max_bytes=0)
+        assert stats == CacheGcStats()
+
+    def test_summary_line(self):
+        stats = CacheGcStats(scanned=3, removed=1, removed_bytes=10,
+                             kept=2, kept_bytes=20, corrupt_removed=1)
+        assert stats.summary_line() == (
+            "scanned=3 removed=1 removed_bytes=10 kept=2 kept_bytes=20 "
+            "corrupt_removed=1"
+        )
+
+
+class TestRetryBackoff:
+    def test_disabled_by_default(self):
+        executor = Executor(jobs=1)
+        assert executor.retry_backoff is None
+        assert executor._backoff_delay(tiny_spec(), 3) == 0.0
+
+    def test_zero_disables_and_negative_rejected(self):
+        assert Executor(jobs=1, retry_backoff=0).retry_backoff is None
+        with pytest.raises(ValueError, match="retry_backoff"):
+            Executor(jobs=1, retry_backoff=-1.0)
+
+    def test_first_attempt_never_delayed(self):
+        executor = Executor(jobs=1, retry_backoff=1.0)
+        assert executor._backoff_delay(tiny_spec(), 0) == 0.0
+
+    def test_deterministic_exponential_with_jitter(self):
+        executor = Executor(jobs=1, retry_backoff=0.1)
+        spec = tiny_spec()
+        first = executor._backoff_delay(spec, 1)
+        assert first == executor._backoff_delay(spec, 1)  # seeded, stable
+        assert 0.05 <= first < 0.15  # base * [0.5, 1.5)
+        second = executor._backoff_delay(spec, 2)
+        assert 0.1 <= second < 0.3  # base * 2 * [0.5, 1.5)
+        # decorrelated across specs: a failure burst does not retry in
+        # lockstep
+        assert first != executor._backoff_delay(tiny_spec(seed=4), 1)
+
+    def test_capped(self):
+        executor = Executor(jobs=1, retry_backoff=100.0)
+        assert (
+            executor._backoff_delay(tiny_spec(), 5)
+            == Executor.BACKOFF_CAP_SECONDS
+        )
+
+    def test_retry_sleeps_the_backoff_in_the_attempt(self, monkeypatch):
+        """An injected first-attempt failure with backoff on must sleep
+        exactly the seeded delay before the retry attempt."""
+        import repro.experiments.executor as executor_module
+
+        slept = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: slept.append(s)
+        )
+        spec = tiny_spec()
+        monkeypatch.setenv("REPRO_FAULT_INJECT", f"raise:{spec.token()}:1")
+        executor = Executor(jobs=1, retries=1, retry_backoff=0.01)
+        result = executor.run([spec])[0]
+        assert result.summary.n_flows > 0  # the retry succeeded
+        assert executor.stats.retried == 1
+        assert slept == [executor._backoff_delay(spec, 1)]
+
+    def test_from_env_reads_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
+        assert Executor.from_env().retry_backoff == 0.25
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        assert Executor.from_env().retry_backoff is None
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "soon")
+        with pytest.warns(UserWarning, match="REPRO_RETRY_BACKOFF"):
+            assert Executor.from_env().retry_backoff is None
 
 
 class TestRunGrid:

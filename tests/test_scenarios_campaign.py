@@ -1,7 +1,9 @@
 """Tests for campaign orchestration: resumable execution over the JSONL
-store, crash safety, failure re-execution, and telemetry accounting."""
+store, crash safety, failure re-execution, shared multi-writer mode, and
+telemetry accounting."""
 
 import json
+import time
 
 import pytest
 
@@ -9,10 +11,12 @@ from repro.experiments.executor import Executor
 from repro.scenarios import (
     CampaignStore,
     CellRecord,
+    LeaseBoard,
     Scenario,
     compile_scenario,
     render_store_report,
     run_campaign,
+    store_fingerprint,
 )
 from repro.telemetry import Telemetry, activate
 
@@ -145,6 +149,61 @@ class TestStore:
         store.append([new])
         assert store.load()[("h", ("t",))].status == "ok"
 
+    def test_load_stats_counts_lines_and_torn(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        assert store.load() == {}
+        assert store.load_stats.lines == 0
+        run_campaign([tiny_scenario()], store.path, executor())
+        store.load()
+        assert store.load_stats.lines == 2
+        assert store.load_stats.records == 2
+        assert store.load_stats.torn_lines == 0
+        lines = store.path.read_text().splitlines()
+        store.path.write_text(lines[0] + "\n" + lines[1][:10])
+        with pytest.warns(UserWarning, match="unreadable record"):
+            store.load()
+        assert store.load_stats.torn_lines == 1
+        assert store.load_stats.records == 1
+
+    def test_torn_lines_surface_in_store_report(self, tmp_path):
+        store = tmp_path / "s.jsonl"
+        run_campaign([tiny_scenario()], store, executor())
+        lines = store.read_text().splitlines()
+        store.write_text(lines[0] + "\n" + lines[1][:10])
+        with pytest.warns(UserWarning, match="unreadable record"):
+            report = render_store_report(store)
+        assert "campaign_store_torn_lines_total 1" in report
+
+    def test_append_resources_heals_torn_sidecar(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.append_resources([{"cell": "a"}])
+        with open(store.resources_path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell": "to')  # torn write, no newline
+        store.append_resources([{"cell": "b"}])
+        rows = store.load_resources()
+        assert rows[0] == {"cell": "a"}
+        assert rows[-1] == {"cell": "b"}  # not glued onto the torn line
+
+    def test_sidecar_gap_does_not_affect_resume(self, tmp_path, monkeypatch):
+        """A crash between store.append and append_resources (records
+        durable, sidecar row lost) must leave the store resumable to the
+        uninterrupted bytes."""
+        scenario = tiny_scenario()
+        gap = tmp_path / "gap.jsonl"
+        monkeypatch.setattr(
+            CampaignStore, "append_resources", lambda self, rows: None
+        )
+        run_campaign([scenario], gap, executor(), max_cells=1)
+        monkeypatch.undo()
+        assert not CampaignStore(gap).resources_path.exists()
+
+        resumed = run_campaign([scenario], gap, executor())
+        assert resumed.executed_cells == 1
+        assert resumed.skipped_cells == 1
+        clean = tmp_path / "clean.jsonl"
+        run_campaign([scenario], clean, executor())
+        assert gap.read_bytes() == clean.read_bytes()
+
     def test_records_carry_no_timestamps(self, tmp_path):
         store = tmp_path / "campaign.jsonl"
         run_campaign([tiny_scenario()], store, executor())
@@ -155,6 +214,109 @@ class TestStore:
                 "tokens", "status", "metrics", "failures", "git_sha",
                 "version",
             }
+
+
+class TestSharedMode:
+    """In-process coverage of the multi-writer path (cross-process
+    interleavings live in test_chaos.py)."""
+
+    def cell_keys(self, scenario):
+        compiled = compile_scenario(scenario)
+        shash = scenario.content_hash()
+        return [(shash, tuple(cell.tokens())) for cell in compiled.cells]
+
+    def test_shared_single_worker_matches_single_writer(self, tmp_path):
+        scenario = tiny_scenario()
+        shared = CampaignStore(tmp_path / "shared.jsonl")
+        result = run_campaign(
+            [scenario], shared, executor(), shared=True, worker_id="w1",
+            lease_ttl=60.0,
+        )
+        assert result.summary_line() == "cells=2 executed=2 skipped=0 failed=0"
+        single = tmp_path / "single.jsonl"
+        run_campaign([scenario], single, executor())
+        assert store_fingerprint(shared) == store_fingerprint(single)
+        # coordination state is sidecar-only: leases released, lock gone
+        assert shared.leases_path.exists()
+        assert not shared.lock_path.exists()
+        leases = LeaseBoard(shared.leases_path, ttl=60.0).load()
+        assert all(lease.state == "released" for lease in leases.values())
+
+    def test_shared_rerun_skips_everything(self, tmp_path):
+        scenario = tiny_scenario()
+        store = tmp_path / "shared.jsonl"
+        run_campaign([scenario], store, executor(), shared=True,
+                     worker_id="w1", lease_ttl=60.0)
+        again = run_campaign([scenario], store, executor(), shared=True,
+                             worker_id="w2", lease_ttl=60.0)
+        assert again.executed_cells == 0
+        assert again.skipped_cells == 2
+
+    def test_live_foreign_lease_is_left_alone(self, tmp_path):
+        scenario = tiny_scenario()
+        store = CampaignStore(tmp_path / "shared.jsonl")
+        keys = self.cell_keys(scenario)
+        LeaseBoard(store.leases_path, ttl=60.0).claim([keys[0]], "other")
+        result = run_campaign(
+            [scenario], store, executor(), shared=True, worker_id="me",
+            lease_ttl=60.0,
+        )
+        assert result.executed_cells == 1  # only the unleased cell
+        assert result.reclaimed_leases == 0
+        assert len(store.load()) == 1
+
+    def test_stale_lease_is_reclaimed_and_counted(self, tmp_path):
+        scenario = tiny_scenario()
+        store = CampaignStore(tmp_path / "shared.jsonl")
+        keys = self.cell_keys(scenario)
+        LeaseBoard(store.leases_path, ttl=60.0).claim(
+            keys, "dead-worker", now=time.time() - 120
+        )
+        telemetry = Telemetry()
+        with activate(telemetry):
+            result = run_campaign(
+                [scenario], store, executor(), shared=True, worker_id="me",
+                lease_ttl=60.0,
+            )
+        assert result.executed_cells == 2
+        assert result.reclaimed_leases == 2
+        assert result.summary_line() == (
+            "cells=2 executed=2 skipped=0 failed=0 reclaimed=2"
+        )
+        assert (
+            telemetry.registry.counter("campaign_lease_reclaims_total").value
+            == 2
+        )
+
+    def test_duplicate_key_last_record_wins_after_reclaim(self, tmp_path):
+        """A reclaimed lease re-runs a cell whose first run's append raced
+        in after all: the store then holds two records for the key and the
+        later one wins on load."""
+        scenario = tiny_scenario()
+        store = CampaignStore(tmp_path / "shared.jsonl")
+        run_campaign([scenario], store, executor(), shared=True,
+                     worker_id="w1", lease_ttl=60.0)
+        index = store.load()
+        key, re_run = next(iter(index.items()))
+        store.append([re_run])  # the duplicate append
+        assert len(store.load()) == 2  # still one record per key
+        assert store.load_stats.records == 3  # three lines read
+        assert store.load()[key] == re_run
+
+    def test_interrupt_latch_stops_between_shards(self, tmp_path):
+        class FakeShutdown:
+            requested = True
+            signum = 15
+
+        result = run_campaign(
+            [tiny_scenario()], tmp_path / "s.jsonl", executor(),
+            shared=True, worker_id="w1", lease_ttl=60.0,
+            shutdown=FakeShutdown(),
+        )
+        assert result.interrupted
+        assert result.interrupt_signum == 15
+        assert result.executed_cells == 0
+        assert result.summary_line().endswith(" interrupted")
 
 
 class TestTelemetryAndReport:
