@@ -9,6 +9,10 @@ against, and writes them to ``BENCH_engine.json``:
 * ``packet.events_per_sec`` -- end-to-end throughput of one star-topology
   DCTCP run (topology + transport + AQM on the hot path, not just the bare
   loop), which is what experiment wall-clock actually scales with;
+* ``fluid.flows_per_sec`` / ``fluid.speedup_vs_packet`` -- throughput of
+  the flow-level fluid engine on the same cell the packet benchmark runs,
+  and its wall-clock speedup over the packet engine (the model-fidelity
+  trade ``--fidelity fluid`` buys);
 * ``sweep.speedup`` -- wall-clock ratio of a small star-FCT spec grid run
   serially (``jobs=1``) versus through the parallel executor.  Skipped
   (recorded as ``null`` with the reason) on single-CPU hosts, where the
@@ -114,6 +118,41 @@ def bench_packets(n_flows: int, repeats: int = 3) -> dict:
     }
 
 
+def bench_fluid(n_flows: int, packet_wall_seconds: float,
+                repeats: int = 3) -> dict:
+    """Best-of-N throughput of the flow-level fluid engine on the *same*
+    cell :func:`bench_packets` measures (star, web-search, load 0.7,
+    RED-Tail, seed 7), so ``speedup_vs_packet`` is a like-for-like
+    model-fidelity trade: identical flow population, identical scheme,
+    wall-clock ratio of the two engines.
+    """
+    from repro.fluid import run_fluid_star_fct
+    from repro.workloads import WEB_SEARCH
+
+    aqm = AqmSpec.make("sojourn-red", sojourn=us(204.8))
+
+    def one_round():
+        start = time.perf_counter()
+        result = run_fluid_star_fct(
+            aqm, workload=WEB_SEARCH, load=0.7, n_flows=n_flows, seed=7
+        )
+        elapsed = time.perf_counter() - start
+        return elapsed, result.events
+
+    rounds = [one_round() for _ in range(repeats)]
+    steps = rounds[0][1]
+    assert all(r[1] == steps for r in rounds), "fluid runs were not deterministic"
+    best = min(r[0] for r in rounds)
+    return {
+        "n_flows": n_flows,
+        "repeats": repeats,
+        "steps": steps,
+        "best_wall_seconds": best,
+        "flows_per_sec": n_flows / best,
+        "speedup_vs_packet": packet_wall_seconds / best,
+    }
+
+
 def sweep_specs(n_flows: int) -> list:
     """A small but representative grid: 2 schemes x 2 loads x 2 seeds."""
     schemes = {
@@ -202,6 +241,13 @@ def main(argv=None) -> int:
     print(f"#   {packet['events_per_sec']:,.0f} events/sec "
           f"({packet['events']:,} events/run)")
 
+    print(f"# fluid: same star cell, {args.packet_flows} flows x3 ...",
+          flush=True)
+    fluid = bench_fluid(args.packet_flows, packet["best_wall_seconds"])
+    print(f"#   {fluid['flows_per_sec']:,.0f} flows/sec "
+          f"({fluid['steps']:,} steps/run, "
+          f"{fluid['speedup_vs_packet']:.1f}x vs packet)")
+
     sweep = None
     sweep_skip_reason = None
     if cpus < 2:
@@ -229,6 +275,7 @@ def main(argv=None) -> int:
         "unix_time": time.time(),
         "engine": engine,
         "packet": packet,
+        "fluid": fluid,
         "sweep": sweep,
     }
     if sweep_skip_reason is not None:
@@ -248,6 +295,8 @@ def main(argv=None) -> int:
             "cpu_count": cpus,
             "events_per_sec": round(engine["events_per_sec"], 1),
             "packet_events_per_sec": round(packet["events_per_sec"], 1),
+            "fluid_flows_per_sec": round(fluid["flows_per_sec"], 1),
+            "fluid_speedup_vs_packet": round(fluid["speedup_vs_packet"], 4),
             "sweep_speedup": (
                 round(sweep["speedup"], 4) if sweep is not None else None
             ),

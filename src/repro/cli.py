@@ -12,9 +12,11 @@ Usage::
     python -m repro run fig6 --dry-run
     python -m repro validate capture --scale tiny
     python -m repro validate run --scale tiny --report-out report.json
+    python -m repro validate crossfid --scale tiny --report-out agreement.json
     python -m repro scenario list scenarios/
     python -m repro scenario check scenarios/
     python -m repro scenario run scenarios/fig6_websearch.toml --store campaign.jsonl
+    python -m repro scenario run scenarios/leafspine_1024.toml --fidelity fluid
     python -m repro scenario run scenarios/ --store shared.jsonl --shared
     python -m repro scenario merge a.jsonl b.jsonl --out merged.jsonl
     python -m repro scenario report --store campaign.jsonl
@@ -66,6 +68,15 @@ cache hits when nothing changed) and gates it with statistical
 cell-by-cell comparisons plus paper-trend invariants.  Exit codes:
 0 pass/warn, 1 confirmed regression, 2 stale/missing baseline or dirty
 tree.  See EXPERIMENTS.md ("Validation & tolerances").
+
+``validate crossfid`` runs a sampled cell subset at both engine fidelities
+(packet and the flow-level fluid model) and gates their agreement:
+statistical FCT/marking/queue comparisons plus the paper-trend invariants
+re-checked on the fluid results.  Exit codes: 0 pass/warn, 1 fail.
+``scenario run --fidelity fluid`` (or ``[run] fidelity`` in the scenario
+file, or ``REPRO_FIDELITY=fluid``) compiles a campaign against the fluid
+engine -- seconds instead of minutes at 1000+ hosts.  See DESIGN.md
+("Fluid fast model").
 """
 
 from __future__ import annotations
@@ -518,6 +529,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full validation report as JSON",
     )
 
+    crossfid = validate_sub.add_parser(
+        "crossfid",
+        help="run sampled cells at both packet and fluid fidelity and gate "
+        "their agreement (no baseline needed)",
+    )
+    crossfid.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "reduced"],
+        help="validation grid whose fig6/fig10 cells are sampled "
+        "(default: tiny)",
+    )
+    crossfid.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the cross-fidelity agreement report as JSON",
+    )
+    _add_executor_args(crossfid)
+
     scenario = sub.add_parser(
         "scenario",
         help="declarative scenarios: list/check/run/report scenario files",
@@ -567,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the compiled cell/spec grid with per-spec cache status "
         "and exit without simulating",
+    )
+    s_run.add_argument(
+        "--fidelity",
+        choices=["packet", "fluid"],
+        default=None,
+        help="engine fidelity for every cell (beats the scenario's "
+        "[run] fidelity and REPRO_FIDELITY; default: packet)",
     )
     s_run.add_argument(
         "--shared",
@@ -969,8 +1007,10 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
     try:
         pairs = load_pairs(args.path)
         scenarios = [s for _, s in pairs]
-        compiled = [compile_scenario(s) for s in scenarios]
-    except (ScenarioError, FileNotFoundError) as exc:
+        compiled = [
+            compile_scenario(s, fidelity=args.fidelity) for s in scenarios
+        ]
+    except (ScenarioError, FileNotFoundError, ValueError) as exc:
         log.error(f"# error: {exc}")
         return 2
 
@@ -1030,6 +1070,7 @@ def _main_scenario(args, parser: argparse.ArgumentParser) -> int:
                 lease_ttl=args.lease_ttl,
                 lock_timeout=args.lock_timeout,
                 shutdown=shutdown,
+                fidelity=args.fidelity,
             )
     except LockTimeout as exc:
         log.error(f"# error: {exc}")
@@ -1064,6 +1105,7 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
         DirtyTreeError,
         StaleBaselineError,
         capture_baselines,
+        run_crossfid,
         run_gate,
     )
     from .validation.stats import FAIL
@@ -1073,6 +1115,18 @@ def _main_validate(args, parser: argparse.ArgumentParser) -> int:
     previous_executor = set_default_executor(executor)
     try:
         with activate(telemetry):
+            if args.validate_command == "crossfid":
+                report = run_crossfid(args.scale, executor)
+                print(report.render_text())
+                log.info(
+                    f"# executor: jobs={executor.jobs} "
+                    f"{executor.stats.merge_line()}"
+                )
+                if args.report_out is not None:
+                    report.to_json(args.report_out)
+                    log.info(f"# report written to {args.report_out}")
+                return 1 if report.status == FAIL else 0
+
             if args.validate_command == "capture":
                 try:
                     baseline, path, outcome = capture_baselines(

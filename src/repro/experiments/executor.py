@@ -114,6 +114,11 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> Any:
     maybe_inject_fault(spec, attempt)
     aqm_factory = spec.aqm.build
     kwargs: Dict[str, Any] = dict(spec.extras)
+    # The fidelity is part of the spec (and therefore of the cache key);
+    # REPRO_FIDELITY is deliberately *not* consulted here -- env-dependent
+    # results under an env-independent key would poison the cache.  The
+    # CLI and the scenario compiler resolve the env var at spec-build time.
+    fidelity = kwargs.pop("fidelity", "packet")
     if spec.kind in ("star", "leafspine"):
         from .runner import run_leafspine_fct, run_star_fct
         from ..workloads.arrivals import TransportConfig
@@ -127,9 +132,19 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> Any:
                 kwargs[name] = value
         if spec.transport:
             kwargs["transport"] = TransportConfig(**dict(spec.transport))
-        run = run_star_fct if spec.kind == "star" else run_leafspine_fct
+        if fidelity == "fluid":
+            from ..fluid.runner import run_fluid_leafspine_fct, run_fluid_star_fct
+
+            run = (
+                run_fluid_star_fct if spec.kind == "star"
+                else run_fluid_leafspine_fct
+            )
+            first_arg = spec.aqm  # the fluid model needs kind+params
+        else:
+            run = run_star_fct if spec.kind == "star" else run_leafspine_fct
+            first_arg = aqm_factory
         return run(
-            aqm_factory,
+            first_arg,
             workload=resolve_workload(spec.workload),
             load=spec.load,
             n_flows=spec.n_flows,
@@ -137,6 +152,15 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> Any:
             **kwargs,
         )
     if spec.kind == "microscopic":
+        if fidelity == "fluid":
+            from ..fluid.runner import run_fluid_microscopic
+
+            return run_fluid_microscopic(
+                spec.aqm,
+                scheme_name=spec.label or spec.aqm.kind,
+                seed=spec.seed,
+                **kwargs,
+            )
         from .figures.fig10 import run_microscopic
 
         return run_microscopic(

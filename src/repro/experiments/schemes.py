@@ -33,6 +33,7 @@ __all__ = [
     "AQM_BUILDERS",
     "PERTURB_ENV",
     "build_aqm",
+    "perturbed_params",
     "bytes_to_sojourn",
     "testbed_schemes",
     "testbed_scheme_specs",
@@ -98,14 +99,12 @@ def _parse_perturbation() -> Optional[Tuple[str, str, float]]:
     return kind, param, factor
 
 
-def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
-    """Construct a registered AQM from its registry name and parameters."""
-    try:
-        builder = AQM_BUILDERS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown AQM kind {kind!r} (available: {sorted(AQM_BUILDERS)})"
-        ) from None
+def perturbed_params(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """``params`` with any matching :data:`PERTURB_ENV` canary applied.
+
+    Shared by the packet AQM constructors and the fluid marker banks so a
+    perturbation canary shifts behaviour identically at both fidelities.
+    """
     perturbation = _parse_perturbation()
     if perturbation is not None and perturbation[0] == kind:
         _, param, factor = perturbation
@@ -120,7 +119,18 @@ def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
                     f"{kind}.{param} x{factor:g} (canary perturbation)",
                     file=sys.stderr,
                 )
-    return builder(**params)
+    return params
+
+
+def build_aqm(kind: str, params: Dict[str, Any]) -> Aqm:
+    """Construct a registered AQM from its registry name and parameters."""
+    try:
+        builder = AQM_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown AQM kind {kind!r} (available: {sorted(AQM_BUILDERS)})"
+        ) from None
+    return builder(**perturbed_params(kind, params))
 
 
 def bytes_to_sojourn(threshold_bytes: int, rate_bps: float = gbps(10)) -> float:

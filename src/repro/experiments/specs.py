@@ -19,12 +19,79 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["AqmSpec", "RunSpec", "resolve_workload", "stable_hash"]
+__all__ = [
+    "AqmSpec",
+    "RunSpec",
+    "resolve_workload",
+    "stable_hash",
+    "FIDELITIES",
+    "FIDELITY_ENV",
+    "resolve_fidelity",
+]
 
 Params = Tuple[Tuple[str, Any], ...]
+
+FIDELITIES: Tuple[str, ...] = ("packet", "fluid")
+"""Simulation fidelities: per-packet DES or the flow-level fluid model."""
+
+FIDELITY_ENV = "REPRO_FIDELITY"
+"""Environment default for the fidelity (overridden by explicit flags).
+
+Resolution happens where specs are *built* (CLI, scenario compiler), never
+inside the executor: a spec's result must be a pure function of the spec so
+cache entries stay valid across environments.
+"""
+
+
+def resolve_fidelity(explicit: Optional[str] = None) -> str:
+    """Effective fidelity: ``explicit`` > ``$REPRO_FIDELITY`` > ``packet``."""
+    value = explicit if explicit is not None else os.environ.get(FIDELITY_ENV)
+    if value is None or value == "":
+        return "packet"
+    if value not in FIDELITIES:
+        raise ValueError(
+            f"unknown fidelity {value!r} (choose from {', '.join(FIDELITIES)})"
+        )
+    return value
+
+
+# Rig-specific knobs each RunSpec kind accepts in ``extras``.  Anything
+# else raises at construction time: a typo'd key (``fidelity=fliud``,
+# ``fanuot=100``) must fail loudly instead of silently running with the
+# rig defaults at packet level.
+_KNOWN_EXTRAS: Dict[str, frozenset] = {
+    "star": frozenset(
+        {"n_senders", "link_rate_bps", "link_delay", "buffer_bytes", "fidelity"}
+    ),
+    "leafspine": frozenset(
+        {"dims", "link_rate_bps", "buffer_bytes", "oversubscription", "fidelity"}
+    ),
+    "microscopic": frozenset(
+        {
+            "fanout",
+            "n_background",
+            "background_bytes",
+            "warmup",
+            "burst_time",
+            "end_time",
+            "sample_interval",
+            "rtt_min",
+            "variation",
+            "init_cwnd",
+            "jitter",
+            "fidelity",
+        }
+    ),
+    # Figure 13's DWRR study has no fluid analogue (it measures scheduler
+    # interaction, not congestion dynamics), so no ``fidelity`` knob.
+    "scheduler": frozenset(
+        {"phase", "link_rate_bps", "probe_load", "long_flow_bytes"}
+    ),
+}
 
 
 def _freeze_value(value: Any) -> Any:
@@ -115,6 +182,22 @@ class RunSpec:
     transport: Params = ()
     extras: Params = field(default=())
 
+    def __post_init__(self) -> None:
+        known = _KNOWN_EXTRAS.get(self.kind)
+        if known is not None:
+            unknown = {k for k, _ in self.extras} - known
+            if unknown:
+                raise ValueError(
+                    f"unknown extras for kind {self.kind!r}: {sorted(unknown)} "
+                    f"(accepted: {sorted(known)})"
+                )
+        fidelity = dict(self.extras).get("fidelity")
+        if fidelity is not None and fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} "
+                f"(choose from {', '.join(FIDELITIES)})"
+            )
+
     # ------------------------------------------------------------ builders
 
     @classmethod
@@ -190,6 +273,29 @@ class RunSpec:
 
     def with_seed(self, seed: int) -> "RunSpec":
         return replace(self, seed=seed)
+
+    @property
+    def fidelity(self) -> str:
+        """The spec's simulation fidelity (``packet`` unless overridden)."""
+        return dict(self.extras).get("fidelity", "packet")
+
+    def with_fidelity(self, fidelity: str) -> "RunSpec":
+        """The same run at another fidelity.
+
+        ``packet`` is the implicit default and is *elided* from ``extras``,
+        so round-tripping a pre-fluid spec through ``with_fidelity("packet")``
+        leaves its hash (and therefore its cache key) byte-identical.
+        """
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} "
+                f"(choose from {', '.join(FIDELITIES)})"
+            )
+        extras = dict(self.extras)
+        extras.pop("fidelity", None)
+        if fidelity != "packet":
+            extras["fidelity"] = fidelity
+        return replace(self, extras=_freeze_params(extras))
 
     def to_dict(self) -> dict:
         return {

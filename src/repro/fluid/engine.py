@@ -1,0 +1,310 @@
+"""Discrete-time flow-level (fluid) simulator of DCTCP over an AQM fabric.
+
+Instead of dispatching per-packet events, the fluid engine advances a fixed
+time step ``dt`` and updates *rates*: every flow injects at its
+window-determined rate ``cwnd * MSS * 8 / RTT`` (capped by its access
+link), port queues integrate the excess of aggregate arrival rate over
+capacity, and the analytic marker banks of :mod:`repro.fluid.marking`
+convert each port's sojourn time into a marking fraction.  Congestion
+windows follow the DCTCP fluid equations on a per-RTT cadence:
+
+* ``F`` = fraction of the last window's packets marked,
+* ``alpha = (1 - g) * alpha + g * F`` with ``g = 1/16``,
+* marked RTT: exit slow start and ``cwnd *= 1 - alpha / 2``,
+* clean RTT: ``cwnd *= 2`` in slow start, else ``cwnd += 1``.
+
+Self-clocking is implicit: the RTT used for a flow's rate includes the
+current sojourn of every port on its path, so growing queues throttle
+injection exactly as ACK clocking does in the packet engine.  One fluid
+step costs a handful of vectorized numpy operations regardless of scale,
+which is what buys the 100x-plus speedup over per-packet simulation at
+1000+ hosts.
+
+Determinism: the engine draws no randomness at all -- the flow population
+carries every sampled quantity -- and the step count is a pure function of
+the input, so identical specs produce bit-identical results across
+processes and cache replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.units import MSS, MTU, us
+from .marking import MarkerBank
+from .population import FlowPopulation
+
+__all__ = ["FluidFabric", "FluidRunResult", "FluidEngine", "choose_dt"]
+
+DCTCP_G = 1.0 / 16.0
+CWND_CAP_PKTS = 10_000.0
+MAX_FLUID_STEPS = 5_000_000
+_EPS = 1e-12
+
+
+def choose_dt(rtt_min: float) -> float:
+    """The fluid step size: an eighth of the smallest base RTT, clamped to
+    [1 us, 20 us].  Deterministic in the spec, so cache replays agree."""
+    return float(min(max(rtt_min / 8.0, us(1)), us(20)))
+
+
+@dataclass
+class FluidFabric:
+    """The static port-level description of a fluid topology.
+
+    ``paths`` maps each flow to the ordered port indices it traverses,
+    padded with ``-1`` for flows with shorter paths.  The first entry of a
+    path must be the flow's access (source uplink) port -- its capacity
+    caps the flow's injection rate.
+    """
+
+    capacity_bps: np.ndarray      # (P,) port service rates
+    buffer_bytes: np.ndarray      # (P,) port buffer limits
+    marked_ports: np.ndarray      # indices of ports running the AQM
+    marker: MarkerBank            # bank sized len(marked_ports)
+    paths: np.ndarray             # (n_flows, K) int, -1 padded
+
+    def __post_init__(self) -> None:
+        self.capacity_bps = np.asarray(self.capacity_bps, dtype=float)
+        self.buffer_bytes = np.asarray(self.buffer_bytes, dtype=float)
+        self.marked_ports = np.asarray(self.marked_ports, dtype=np.int64)
+        self.paths = np.asarray(self.paths, dtype=np.int64)
+        if self.marker.n_ports != len(self.marked_ports):
+            raise ValueError("marker bank size must match marked_ports")
+        if self.paths.ndim != 2:
+            raise ValueError("paths must be a 2-D array")
+        if (self.paths[:, 0] < 0).any():
+            raise ValueError("every flow needs an access port")
+
+
+@dataclass
+class FluidRunResult:
+    """Everything the runners need to shape fluid output like packet output."""
+
+    finish: np.ndarray            # completion time per flow (nan if unfinished)
+    fct: np.ndarray               # flow completion time (nan if unfinished)
+    completed: np.ndarray         # bool per flow
+    marks: float                  # packet-equivalent CE marks (fractional)
+    instant_marks: float
+    persistent_marks: float
+    drops: float                  # packet-equivalent buffer overflows
+    steps: int
+    duration: float               # simulated end time
+    queue_samples: List[Tuple[float, float]] = field(default_factory=list)
+    """(time, queue packets) samples of the designated port, if requested."""
+
+
+class FluidEngine:
+    """Steps a :class:`FlowPopulation` over a :class:`FluidFabric`."""
+
+    def __init__(
+        self,
+        population: FlowPopulation,
+        fabric: FluidFabric,
+        init_cwnd: float = 10.0,
+        dt: Optional[float] = None,
+        max_steps: int = MAX_FLUID_STEPS,
+    ) -> None:
+        if len(population) != fabric.paths.shape[0]:
+            raise ValueError("population and fabric paths disagree on flow count")
+        self.population = population
+        self.fabric = fabric
+        self.dt = float(dt) if dt is not None else choose_dt(float(population.base_rtt.min()))
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        self.max_steps = max_steps
+
+        n = len(population)
+        p = len(fabric.capacity_bps)
+        self._n_ports = p
+        # Flattened static path indices for per-port rate aggregation.
+        flat = fabric.paths.ravel()
+        self._path_valid = flat >= 0
+        self._flat_paths = flat[self._path_valid]
+        self._path_width = fabric.paths.shape[1]
+        self._access = fabric.capacity_bps[fabric.paths[:, 0]]
+
+        # Per-flow transport state.
+        self.cwnd = np.full(n, float(init_cwnd))
+        self.alpha = np.ones(n)  # DCTCP's init_alpha=1: conservative first cut
+        self.slow_start = np.ones(n, dtype=bool)
+        self.remaining = population.size.astype(float).copy()
+        self.next_update = population.start + population.base_rtt
+        self._sent_window = np.zeros(n)     # packets injected this RTT epoch
+        self._marked_window = np.zeros(n)   # marked packets this RTT epoch
+
+        # Per-port state.
+        self.queue = np.zeros(p)            # bytes
+
+        # Outputs.
+        self.finish = np.full(n, np.nan)
+        self.fct = np.full(n, np.nan)
+        self.marks = 0.0
+        self.instant_marks = 0.0
+        self.persistent_marks = 0.0
+        self.drops = 0.0
+        self.steps = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        end_time: Optional[float] = None,
+        sample_port: Optional[int] = None,
+        sample_interval: Optional[float] = None,
+        sample_start: float = 0.0,
+        sample_end: Optional[float] = None,
+    ) -> FluidRunResult:
+        """Advance until every flow completes (or until ``end_time``).
+
+        When ``sample_port`` is set, the port's queue occupancy (packets)
+        is recorded every ``sample_interval`` seconds inside
+        ``[sample_start, sample_end]`` -- the fluid analogue of fig10's
+        queue monitor.
+        """
+        if sample_port is not None and sample_interval is None:
+            raise ValueError("sample_port requires sample_interval")
+        pop = self.population
+        fabric = self.fabric
+        dt = self.dt
+        mss_bits = MSS * 8.0
+        capacity = fabric.capacity_bps
+        buffers = fabric.buffer_bytes
+        marked_ports = fabric.marked_ports
+        paths = fabric.paths
+        width = self._path_width
+        queue_samples: List[Tuple[float, float]] = []
+
+        t = 0.0
+        next_sample = sample_start
+        while True:
+            incomplete = self.remaining > _EPS
+            if end_time is not None and t >= end_time:
+                break
+            if not incomplete.any():
+                break
+            active = incomplete & (pop.start <= t)
+            if not active.any() and float(self.queue.sum()) <= 1.0:
+                # Idle gap: jump straight to the next arrival (no queue to
+                # drain, nothing in flight, marker state resets below).
+                t = float(pop.start[incomplete].min())
+                if end_time is not None and t >= end_time:
+                    break
+                active = incomplete & (pop.start <= t)
+            if self.steps >= self.max_steps:
+                raise RuntimeError(
+                    f"fluid step budget exceeded ({self.max_steps} steps at t={t:.6f}s)"
+                )
+            self.steps += 1
+
+            # --- rates: window/RTT, capped by the access link -------------
+            sojourn = self.queue * 8.0 / capacity
+            soj_pad = np.append(sojourn, 0.0)
+            rtt = pop.base_rtt + soj_pad[paths].sum(axis=1)
+            rate = np.minimum(self.cwnd * mss_bits / rtt, self._access)
+            rate = np.where(active, rate, 0.0)
+
+            # --- queues: integrate excess arrival rate --------------------
+            weights = np.repeat(rate, width)[self._path_valid]
+            arrival = np.bincount(
+                self._flat_paths, weights=weights, minlength=self._n_ports
+            )
+            serviced_bytes = np.minimum(arrival * dt, capacity * dt + self.queue * 8.0) / 8.0
+            self.queue += (arrival - capacity) * dt / 8.0
+            np.clip(self.queue, 0.0, None, out=self.queue)
+            overflow = self.queue - buffers
+            over = overflow > 0.0
+            if over.any():
+                self.drops += float(overflow[over].sum()) / MTU
+                self.queue[over] = buffers[over]
+
+            # --- marking --------------------------------------------------
+            pkts = serviced_bytes / MSS
+            step_marks = fabric.marker.step(
+                sojourn[marked_ports], t, dt, pkts[marked_ports]
+            )
+            marked_pkts = pkts[marked_ports]
+            self.marks += float((marked_pkts * step_marks.fraction).sum())
+            self.instant_marks += float((marked_pkts * step_marks.instant).sum())
+            self.persistent_marks += float((marked_pkts * step_marks.persistent).sum())
+            frac = np.zeros(self._n_ports + 1)
+            frac[marked_ports] = step_marks.fraction
+            # A full buffer is loss feedback: treat the step's traffic
+            # through an overflowing port as marked so senders back off.
+            frac[: self._n_ports][over] = 1.0
+            flow_marked = 1.0 - np.prod(1.0 - frac[paths], axis=1)
+
+            # --- per-flow delivery and DCTCP window accounting ------------
+            delivered = rate * dt / 8.0
+            sent_pkts = delivered / MSS
+            self._sent_window += sent_pkts
+            self._marked_window += sent_pkts * flow_marked
+            before = self.remaining.copy()
+            self.remaining -= delivered
+            finishing = active & (self.remaining <= _EPS) & (before > _EPS)
+            if finishing.any():
+                fraction_of_step = before[finishing] / np.maximum(delivered[finishing], _EPS)
+                done_at = t + np.clip(fraction_of_step, 0.0, 1.0) * dt
+                self.finish[finishing] = done_at
+                # The fluid injection rate cwnd/RTT already spreads each
+                # window over one RTT, but the *last* window's ACK wait is
+                # real wall time the rate model doesn't cover: the final
+                # ACK returns one RTT after the last byte is clocked out.
+                self.fct[finishing] = (
+                    done_at - pop.start[finishing] + rtt[finishing]
+                )
+                self.remaining[finishing] = 0.0
+
+            due = active & ~finishing & (t >= self.next_update)
+            if due.any():
+                observed = np.where(
+                    self._sent_window > _EPS,
+                    self._marked_window / np.maximum(self._sent_window, _EPS),
+                    0.0,
+                )
+                self.alpha[due] = (1.0 - DCTCP_G) * self.alpha[due] + DCTCP_G * observed[due]
+                marked_rtt = due & (self._marked_window > 1e-9)
+                clean_rtt = due & ~marked_rtt
+                self.slow_start[marked_rtt] = False
+                self.cwnd[marked_rtt] *= 1.0 - self.alpha[marked_rtt] / 2.0
+                ss = clean_rtt & self.slow_start
+                self.cwnd[ss] *= 2.0
+                ca = clean_rtt & ~self.slow_start
+                self.cwnd[ca] += 1.0
+                np.clip(self.cwnd, 1.0, CWND_CAP_PKTS, out=self.cwnd)
+                self.next_update[due] = t + rtt[due]
+                self._sent_window[due] = 0.0
+                self._marked_window[due] = 0.0
+
+            # --- queue sampling -------------------------------------------
+            if sample_port is not None:
+                while next_sample <= t and (
+                    sample_end is None or next_sample <= sample_end
+                ):
+                    queue_samples.append(
+                        (next_sample, float(self.queue[sample_port]) / MTU)
+                    )
+                    next_sample += float(sample_interval)
+
+            t += dt
+
+        completed = self.remaining <= _EPS
+        finished = self.finish[np.isfinite(self.finish)]
+        duration = float(finished.max()) if finished.size else t
+        if end_time is not None:
+            duration = max(duration, min(t, end_time))
+        return FluidRunResult(
+            finish=self.finish,
+            fct=self.fct,
+            completed=completed,
+            marks=self.marks,
+            instant_marks=self.instant_marks,
+            persistent_marks=self.persistent_marks,
+            drops=self.drops,
+            steps=self.steps,
+            duration=duration,
+            queue_samples=queue_samples,
+        )

@@ -1,0 +1,201 @@
+"""Analytic (fluid) marking models of the packet-level AQMs.
+
+The packet engine marks individual packets at dequeue time; the fluid
+engine instead needs, per port and per time step, the *fraction* of the
+traffic that each AQM would have CE-marked.  This module provides
+vectorized "marker banks" -- one state machine per port, stepped for all
+ports of a fabric at once -- that mirror the decision logic of the
+packet-level classes in :mod:`repro.core`:
+
+* ``sojourn-red`` / ``tcn``: step marking -- fraction 1 while the
+  instantaneous sojourn time exceeds the threshold, else 0.
+* ``codel``: the CoDel control law in continuous time -- after the sojourn
+  stays above ``target`` for one ``interval``, marks arrive at the
+  escalating rate ``sqrt(count) / interval`` (the fluid limit of
+  ``next_mark += interval / sqrt(count)``).
+* ``ecn-sharp``: the instantaneous cut-off of
+  :class:`~repro.core.ecn_sharp.EcnSharp` (fraction 1 above
+  ``ins_target``) plus the fluid limit of Algorithm 1's persistent
+  marking on ``pst_target`` / ``pst_interval``, including the reset
+  whenever the sojourn dips below ``pst_target``.
+
+Marks are *fractional* in the fluid model (one mark per shrinking
+interval becomes a marking intensity); the engine converts fractions back
+into packet-equivalent counts for the run's summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["StepMarks", "MarkerBank", "build_marker_bank"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class StepMarks:
+    """Per-port marking outcome of one fluid step (fractions in [0, 1])."""
+
+    fraction: np.ndarray
+    instant: np.ndarray
+    persistent: np.ndarray
+
+
+class MarkerBank:
+    """Base class: one AQM marking state machine per port, vectorized."""
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports <= 0:
+            raise ValueError("need at least one port")
+        self.n_ports = n_ports
+
+    def step(
+        self, sojourn: np.ndarray, now: float, dt: float, pkts: np.ndarray
+    ) -> StepMarks:
+        """Marking fractions for the interval ``[now, now + dt)``.
+
+        ``sojourn`` is each port's current queueing delay (seconds) and
+        ``pkts`` the packet-equivalents that traverse each port during the
+        step (used to turn discrete mark events into fractions).
+        """
+        raise NotImplementedError
+
+
+class StepMarkerBank(MarkerBank):
+    """Threshold step marking (``sojourn-red`` and ``tcn``): every packet
+    whose sojourn exceeds the threshold is marked."""
+
+    def __init__(self, threshold: float, n_ports: int) -> None:
+        super().__init__(n_ports)
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def step(self, sojourn, now, dt, pkts) -> StepMarks:
+        fraction = np.where(sojourn > self.threshold, 1.0, 0.0)
+        return StepMarks(
+            fraction=fraction,
+            instant=fraction,
+            persistent=np.zeros_like(fraction),
+        )
+
+
+class _PersistentLaw:
+    """Shared continuous-time form of the CoDel / ECN#-persistent control
+    law: declare persistent buildup after ``interval`` above ``target``,
+    then mark at intensity ``sqrt(count) / interval``; reset when the
+    sojourn falls below ``target``."""
+
+    def __init__(self, target: float, interval: float, n_ports: int) -> None:
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.first_above = np.full(n_ports, np.nan)
+        self.marking = np.zeros(n_ports, dtype=bool)
+        self.count = np.zeros(n_ports)
+
+    def marks(self, sojourn: np.ndarray, now: float, dt: float) -> np.ndarray:
+        """Fractional mark events per port in ``[now, now + dt)``."""
+        below = sojourn < self.target
+        self.first_above[below] = np.nan
+        self.marking[below] = False
+        self.count[below] = 0.0
+        above = ~below
+        fresh = above & np.isnan(self.first_above)
+        self.first_above[fresh] = now
+        entering = (
+            above & ~self.marking
+            & (now + dt - self.first_above >= self.interval)
+        )
+        self.marking[entering] = True
+        self.count[entering] = 1.0
+        marks = np.zeros_like(sojourn)
+        # The first mark of an episode is discrete (Algorithm 1 marks the
+        # packet that trips the detector); afterwards the shrinking
+        # inter-mark gap interval/sqrt(count) becomes a rate.
+        marks[entering] = 1.0
+        steady = self.marking & above & ~entering
+        marks[steady] = dt * np.sqrt(self.count[steady]) / self.interval
+        self.count[steady] += marks[steady]
+        return marks
+
+
+class CodelMarkerBank(MarkerBank):
+    """CoDel's control law in fluid time (all marks are persistent)."""
+
+    def __init__(self, target: float, interval: float, n_ports: int) -> None:
+        super().__init__(n_ports)
+        self.law = _PersistentLaw(target, interval, n_ports)
+
+    def step(self, sojourn, now, dt, pkts) -> StepMarks:
+        marks = self.law.marks(sojourn, now, dt)
+        fraction = np.clip(marks / np.maximum(pkts, _EPS), 0.0, 1.0)
+        return StepMarks(
+            fraction=fraction,
+            instant=np.zeros_like(fraction),
+            persistent=fraction,
+        )
+
+
+class EcnSharpMarkerBank(MarkerBank):
+    """ECN#: instantaneous cut-off marking plus persistent marking."""
+
+    def __init__(
+        self,
+        ins_target: float,
+        pst_target: float,
+        pst_interval: float,
+        n_ports: int,
+    ) -> None:
+        super().__init__(n_ports)
+        if ins_target <= 0:
+            raise ValueError("ins_target must be positive")
+        if pst_target > ins_target:
+            raise ValueError("pst_target must not exceed ins_target")
+        self.ins_target = ins_target
+        self.law = _PersistentLaw(pst_target, pst_interval, n_ports)
+
+    def step(self, sojourn, now, dt, pkts) -> StepMarks:
+        instant = np.where(sojourn > self.ins_target, 1.0, 0.0)
+        marks = self.law.marks(sojourn, now, dt)
+        persistent = np.clip(marks / np.maximum(pkts, _EPS), 0.0, 1.0)
+        # Instantaneous marking takes precedence packet-by-packet (the
+        # persistent machine still observes, matching the packet AQM).
+        persistent = np.where(instant >= 1.0, 0.0, persistent)
+        fraction = instant + (1.0 - instant) * persistent
+        return StepMarks(
+            fraction=fraction, instant=instant, persistent=persistent
+        )
+
+
+def build_marker_bank(
+    kind: str, params: Dict[str, Any], n_ports: int
+) -> MarkerBank:
+    """The fluid marking model for a registered AQM kind.
+
+    ``REPRO_AQM_PERTURB`` applies here exactly as it does to the packet
+    AQMs (via :func:`~repro.experiments.schemes.perturbed_params`), so the
+    validation canary also catches regressions in fluid campaigns.
+    """
+    from ..experiments.schemes import perturbed_params
+
+    params = dict(perturbed_params(kind, dict(params)))
+    if kind == "sojourn-red":
+        return StepMarkerBank(params["sojourn"], n_ports)
+    if kind == "tcn":
+        return StepMarkerBank(params["threshold"], n_ports)
+    if kind == "codel":
+        return CodelMarkerBank(params["target"], params["interval"], n_ports)
+    if kind == "ecn-sharp":
+        return EcnSharpMarkerBank(
+            params["ins_target"],
+            params["pst_target"],
+            params["pst_interval"],
+            n_ports,
+        )
+    raise ValueError(f"no fluid marking model for AQM kind {kind!r}")

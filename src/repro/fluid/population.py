@@ -1,0 +1,118 @@
+"""Flow populations for the fluid engine, RNG-compatible with the DES.
+
+The fluid model needs the complete flow list -- start time, size, endpoints
+and base RTT -- up front, whereas the packet engine draws these lazily as
+the Poisson process unfolds.  To keep the two fidelities comparable cell by
+cell, this module replays the *exact* random-draw sequence of
+:class:`~repro.workloads.arrivals.PoissonTrafficGenerator` (and, for the
+microscopic scenario, of ``fig10``'s setup): same seed in, same flows out.
+
+Draw order per generated flow (matching ``PoissonTrafficGenerator``):
+
+1. one exponential inter-arrival gap *before* the first flow (``start()``),
+2. endpoint pick (one ``integers`` draw for the star's sender, two for the
+   any-to-any leaf-spine pair),
+3. flow size via ``workload.sample_one``,
+4. base RTT via ``profile.sample_one`` (skipped internally when the
+   profile's span is zero),
+5. the next exponential gap -- except after the last flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netem.profiles import RttProfile
+from ..workloads.distributions import EmpiricalCdf
+
+__all__ = ["FlowPopulation", "star_population", "leafspine_population"]
+
+
+@dataclass
+class FlowPopulation:
+    """Parallel arrays describing every flow of a fluid run."""
+
+    start: np.ndarray      # arrival time (s)
+    size: np.ndarray       # flow size (bytes)
+    base_rtt: np.ndarray   # propagation/base RTT excluding queueing (s)
+    src: np.ndarray        # source host index
+    dst: np.ndarray        # destination host index
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+
+def _poisson_population(
+    workload: EmpiricalCdf,
+    load: float,
+    capacity_bps: float,
+    n_flows: int,
+    rng: np.random.Generator,
+    pick_pair,
+    profile: RttProfile,
+    network_rtt: float,
+) -> FlowPopulation:
+    mean_interarrival = 8.0 * workload.mean() / (load * capacity_bps)
+    start = np.empty(n_flows)
+    size = np.empty(n_flows)
+    base_rtt = np.empty(n_flows)
+    src = np.empty(n_flows, dtype=np.int64)
+    dst = np.empty(n_flows, dtype=np.int64)
+    now = float(rng.exponential(mean_interarrival))
+    for i in range(n_flows):
+        start[i] = now
+        src[i], dst[i] = pick_pair(rng)
+        size[i] = workload.sample_one(rng)
+        # The packet engine installs max(0, sample - network_rtt) of netem
+        # delay on top of the physical path, so the effective base RTT a
+        # flow experiences is max(sample, network_rtt).
+        base_rtt[i] = max(profile.sample_one(rng), network_rtt)
+        if i + 1 < n_flows:
+            now += float(rng.exponential(mean_interarrival))
+    return FlowPopulation(start=start, size=size, base_rtt=base_rtt, src=src, dst=dst)
+
+
+def star_population(
+    workload: EmpiricalCdf,
+    load: float,
+    capacity_bps: float,
+    n_flows: int,
+    rng: np.random.Generator,
+    n_senders: int,
+    profile: RttProfile,
+    network_rtt: float,
+) -> FlowPopulation:
+    """Star/incast population: random sender, fixed receiver ``n_senders``."""
+
+    def pick(gen: np.random.Generator):
+        return int(gen.integers(n_senders)), n_senders
+
+    return _poisson_population(
+        workload, load, capacity_bps, n_flows, rng, pick, profile, network_rtt
+    )
+
+
+def leafspine_population(
+    workload: EmpiricalCdf,
+    load: float,
+    capacity_bps: float,
+    n_flows: int,
+    rng: np.random.Generator,
+    n_hosts: int,
+    profile: RttProfile,
+    network_rtt: float,
+) -> FlowPopulation:
+    """Leaf-spine population: uniform random distinct (src, dst) pairs."""
+
+    def pick(gen: np.random.Generator):
+        src_index = int(gen.integers(n_hosts))
+        dst_index = int(gen.integers(n_hosts - 1))
+        if dst_index >= src_index:
+            dst_index += 1
+        return src_index, dst_index
+
+    return _poisson_population(
+        workload, load, capacity_bps, n_flows, rng, pick, profile, network_rtt
+    )

@@ -239,13 +239,15 @@ class ObsReport:
                 lines += [f"`{spark}` (oldest → newest events/sec)", ""]
             lines += self._md_table(
                 ["commit", "python", "cpus", "events/sec", "pkt events/sec",
-                 "sweep speedup"],
+                 "fluid flows/sec", "fluid speedup", "sweep speedup"],
                 [
                     [
                         (row.get("git_sha") or "-")[:12],
                         row.get("python"), row.get("cpu_count"),
                         row.get("events_per_sec"),
                         row.get("packet_events_per_sec"),
+                        row.get("fluid_flows_per_sec"),
+                        row.get("fluid_speedup_vs_packet"),
                         row.get("sweep_speedup"),
                     ]
                     for row in self.trend

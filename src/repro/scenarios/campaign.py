@@ -564,8 +564,15 @@ def run_campaign(
     lease_ttl: Optional[float] = None,
     lock_timeout: Optional[float] = None,
     shutdown: Optional[Any] = None,
+    fidelity: Optional[str] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign over ``scenarios``.
+
+    ``fidelity`` overrides every scenario's engine fidelity at compile time
+    (``"packet"``/``"fluid"``; see :func:`~.compile.compile_scenario` for
+    the resolution order).  Because fidelity is part of each spec's token,
+    packet and fluid passes of the same scenario settle *distinct* store
+    cells -- a hybrid campaign can hold both side by side.
 
     Cells already settled ``"ok"`` in the store are skipped; gaps and failed
     cells execute, sharded across the executor's pool, and each finished
@@ -605,7 +612,7 @@ def run_campaign(
         for scenario in scenarios:
             with maybe_span("compile", kind="scenario",
                             scenario=scenario.name):
-                compiled.append(compile_scenario(scenario))
+                compiled.append(compile_scenario(scenario, fidelity=fidelity))
         provenance = (git_sha(), _package_version())
         result = CampaignResult(compiled=compiled)
         if shared:

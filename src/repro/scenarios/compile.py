@@ -22,11 +22,11 @@ bit-identical summaries (asserted cell-for-cell in the tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.executor import seed_specs
 from ..experiments.faults import is_failure
-from ..experiments.specs import AqmSpec, RunSpec
+from ..experiments.specs import AqmSpec, RunSpec, resolve_fidelity
 from ..sim.units import us
 from .schema import Scenario, ScenarioError, WorkloadSpec
 
@@ -70,8 +70,17 @@ class CompiledScenario:
         return sum(len(cell.specs) for cell in self.cells)
 
 
-def compile_scenario(scenario: Scenario) -> CompiledScenario:
+def compile_scenario(
+    scenario: Scenario, fidelity: Optional[str] = None
+) -> CompiledScenario:
     """Compile every workload component into its cell list.
+
+    ``fidelity`` (the CLI's ``--fidelity``) beats the scenario's
+    ``[run] fidelity``, which beats ``REPRO_FIDELITY``, which defaults to
+    packet.  Resolution happens here -- at spec-build time -- so the
+    fidelity is baked into each spec's token/cache key and the executor
+    never consults the environment.  Packet-fidelity specs are
+    byte-identical to pre-fidelity compilations (the extras key is elided).
 
     Raises :class:`ScenarioError` (with the offending component's path) for
     combinations the rigs cannot express -- incast on a leaf-spine topology,
@@ -79,14 +88,28 @@ def compile_scenario(scenario: Scenario) -> CompiledScenario:
     transport overrides alongside an incast component (the incast rig pins
     its own transport).
     """
+    resolved = resolve_fidelity(fidelity or scenario.fidelity)
     cells: List[ScenarioCell] = []
     for index, component in enumerate(scenario.workloads):
         path = f"{scenario.name}.workloads[{index}]"
         if component.kind == "fct":
-            cells.extend(_fct_cells(scenario, component))
+            component_cells = _fct_cells(scenario, component)
         else:
             _check_incast(scenario, component, path)
-            cells.extend(_incast_cells(scenario, component))
+            component_cells = _incast_cells(scenario, component)
+        if resolved != "packet":
+            component_cells = [
+                ScenarioCell(
+                    component=cell.component,
+                    key=cell.key,
+                    specs=tuple(
+                        spec.with_fidelity(resolved) for spec in cell.specs
+                    ),
+                    metric_source=cell.metric_source,
+                )
+                for cell in component_cells
+            ]
+        cells.extend(component_cells)
     return CompiledScenario(scenario=scenario, cells=tuple(cells))
 
 

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..experiments.specs import AqmSpec, stable_hash
+from ..experiments.specs import FIDELITIES, AqmSpec, stable_hash
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -601,6 +601,10 @@ class Scenario:
     n_seeds: int = 1
     transport: TransportSpec = field(default_factory=TransportSpec)
     hypothesis: str = ""
+    fidelity: Optional[str] = None
+    """Engine fidelity for every cell (``"packet"``/``"fluid"``); ``None``
+    defers to the compiler's resolution (CLI flag, then ``REPRO_FIDELITY``,
+    then packet)."""
     schema_version: int = SCHEMA_VERSION
 
     @classmethod
@@ -635,6 +639,7 @@ class Scenario:
             raise ScenarioError(f"{source}.run", "required table is missing")
         seed = run_fields.integer("seed", minimum=0)
         n_seeds = run_fields.integer("n_seeds", 1, minimum=1)
+        fidelity = run_fields.string("fidelity", None, choices=FIDELITIES)
         run_fields.finish()
         transport = TransportSpec.from_fields(fields.table("transport"))
         workloads_raw = fields.array("workloads")
@@ -665,6 +670,7 @@ class Scenario:
             n_seeds=n_seeds,
             transport=transport,
             hypothesis=hypothesis,
+            fidelity=fidelity,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -687,6 +693,8 @@ class Scenario:
         run: Dict[str, Any] = {"seed": self.seed}
         if self.n_seeds != 1:
             run["n_seeds"] = self.n_seeds
+        if self.fidelity is not None:
+            run["fidelity"] = self.fidelity
         data["run"] = run
         transport = self.transport.to_dict()
         if transport:

@@ -32,6 +32,7 @@ CATEGORIES: tuple = (
     "validation",  # fidelity-gate verdict (baseline cell or paper invariant)
     "scenario",    # campaign cell settled (executed, skipped or failed)
     "resilience",  # lease reclaim, cache quarantine, chaos injection
+    "fluid",       # flow-level fluid engine run completed
 )
 """Every category the built-in instrumentation emits."""
 

@@ -197,6 +197,29 @@ class Telemetry:
         if recorder is not None and recorder.wants("resilience"):
             recorder.emit(0.0, "resilience", "chaos_injection", mode=mode)
 
+    # ----------------------------------------------------------- fluid hooks
+
+    def on_fluid_run(
+        self,
+        kind: str,
+        steps: int,
+        flows: int,
+        sim_duration: float,
+        wall_seconds: float,
+    ) -> None:
+        """Record one completed fluid-engine run: total step count (the
+        fluid analogue of events dispatched) and a trace event when the
+        ``fluid`` category is enabled."""
+        self.registry.counter("fluid_steps_total", kind=kind).inc(steps)
+        self.registry.counter("fluid_runs_total", kind=kind).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("fluid"):
+            recorder.emit(
+                sim_duration, "fluid", "run",
+                rig=kind, steps=steps, flows=flows,
+                wall_seconds=wall_seconds,
+            )
+
     # ------------------------------------------------------ data-plane hooks
 
     def on_enqueue(self, port, packet, now: float) -> None:

@@ -11,7 +11,9 @@ Layers (dependency order):
   claims (Figures 6-12), evaluated against assembled figure results;
 * :mod:`.grids` -- the single owner of validation run-spec construction,
   shared by capture and gate runs so warm gates replay from cache;
-* :mod:`.gates` -- ``repro validate capture`` / ``repro validate run``.
+* :mod:`.gates` -- ``repro validate capture`` / ``repro validate run``;
+* :mod:`.crossfid` -- ``repro validate crossfid``, the fluid-vs-packet
+  agreement gate over the hybrid-fidelity sampled cells.
 """
 
 from .baselines import (
@@ -22,6 +24,12 @@ from .baselines import (
     StaleBaselineError,
     ensure_clean_tree,
     git_dirty,
+)
+from .crossfid import (
+    CROSSFID_FIGURES,
+    CrossfidReport,
+    crossfid_band_for,
+    run_crossfid,
 )
 from .gates import (
     PerfVerdict,
@@ -69,6 +77,10 @@ __all__ = [
     "StaleBaselineError",
     "ensure_clean_tree",
     "git_dirty",
+    "CROSSFID_FIGURES",
+    "CrossfidReport",
+    "crossfid_band_for",
+    "run_crossfid",
     "PerfVerdict",
     "ValidationReport",
     "band_for",

@@ -27,6 +27,7 @@ def _hermetic_executor(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CHAOS", raising=False)
     monkeypatch.delenv("REPRO_RETRY_BACKOFF", raising=False)
     monkeypatch.delenv("REPRO_LEASE_TTL", raising=False)
+    monkeypatch.delenv("REPRO_FIDELITY", raising=False)
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     previous = set_default_executor(None)
     yield
