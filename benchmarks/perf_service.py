@@ -1,0 +1,211 @@
+"""Results-service microbenchmark: warm vs cold query throughput.
+
+Measures the serving tier the ``repro serve`` daemon adds, over real HTTP
+on a loopback socket, and writes the numbers to ``BENCH_service.json``:
+
+* ``cold.queries_per_sec`` -- every request is a distinct query (unique
+  query hash), so each one misses the summary cache and pays the full
+  filter + aggregate + render path;
+* ``warm.queries_per_sec`` -- the same query repeated, so every request
+  after the first is served from the summary-tier LRU: the stat-probe
+  revalidation plus a cache lookup, zero store reads (asserted against
+  the daemon's own ``service_store_loads_total`` counter);
+* ``p50_ms`` / ``p99_ms`` per mode -- per-request latency through the
+  stdlib client.
+
+The store is synthesized (``--cells`` settled cell records, no
+simulation), so the benchmark isolates serving cost from simulation cost
+and runs in seconds.
+
+Usage::
+
+    python benchmarks/perf_service.py [--cells N] [--requests N] [--out PATH]
+
+A one-line summary is appended to the benchmark trend file (consumed by
+``repro obs report``; ``service_warm_qps`` / ``service_warm_p99_ms``
+columns).  Not a pytest module on purpose: perf numbers belong in a JSON
+artifact, not in an assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.stats_util import percentile  # noqa: E402
+from repro.scenarios.campaign import CampaignStore, CellRecord  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.daemon import ResultsService, _make_server  # noqa: E402
+from repro.telemetry.provenance import git_sha  # noqa: E402
+
+SCHEMES = ("DCTCP-RED-Tail", "CoDel", "ECN#")
+METRICS = ("avg_query_fct", "p99_query_fct", "standing_queue_pkts",
+           "marks", "drops")
+
+
+def synthesize_store(directory: Path, cells: int) -> Path:
+    """Write a campaign store of ``cells`` settled records -- a plausible
+    sweep shape (scenarios x schemes x loads x seeds), deterministic
+    values, no simulation."""
+    path = directory / "bench.jsonl"
+    store = CampaignStore(path)
+    records = []
+    for index in range(cells):
+        scenario = f"scenario-{index % 4}"
+        scheme = SCHEMES[index % len(SCHEMES)]
+        load = 0.2 + 0.1 * (index % 7)
+        seed = index % 5
+        records.append(CellRecord(
+            scenario=scenario,
+            scenario_hash=f"hash-{index % 4}",
+            cell_key=f"websearch|load={load:g}|scheme={scheme}",
+            component="websearch",
+            tokens=(f"star|{scheme}|seed={seed}|{index:016x}",),
+            status="ok",
+            metrics={
+                name: round((index + 1) * 0.001 * (pos + 1), 6)
+                for pos, name in enumerate(METRICS)
+            },
+            failures=(),
+            git_sha=None,
+            version="bench",
+        ))
+    store.append(records)
+    return path
+
+
+def run_requests(client: ServiceClient, queries, repeats: int) -> dict:
+    """Issue ``repeats`` GETs cycling through ``queries``; per-request
+    latency stats plus aggregate throughput."""
+    latencies = []
+    for index in range(repeats):
+        params = queries[index % len(queries)]
+        start = time.perf_counter()
+        response = client.query(params)
+        latencies.append(time.perf_counter() - start)
+        assert response.status == 200, f"HTTP {response.status}"
+    total = sum(latencies)
+    return {
+        "requests": repeats,
+        "wall_seconds": total,
+        "queries_per_sec": repeats / total,
+        "p50_ms": percentile(latencies, 50.0) * 1e3,
+        "p99_ms": percentile(latencies, 99.0) * 1e3,
+    }
+
+
+def bench_service(cells: int, requests: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        synthesize_store(directory, cells)
+        service = ResultsService(directory)
+        server = _make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+
+            # Cold: every request is a distinct query hash -> cache miss.
+            # The token filter carries the request index (cells embed a
+            # per-index hex token), so no two requests share a cache key.
+            cold_queries = [
+                {"metric": METRICS[i % len(METRICS)],
+                 "token": f"{i % cells:016x}",
+                 "scenario": f"scenario-{i % 4}"}
+                for i in range(requests)
+            ]
+            cold = run_requests(client, cold_queries, requests)
+            misses_after_cold = service.cache.stats()["misses"]
+            assert misses_after_cold >= min(requests, cells), (
+                "cold queries unexpectedly hit the cache"
+            )
+
+            # Warm: one query repeated; everything after the priming
+            # request must come from the summary cache without touching
+            # the store again.
+            warm_query = [{"metric": "avg_query_fct"}]
+            client.query(warm_query[0])
+            loads_before = service.index.store_loads
+            warm = run_requests(client, warm_query, requests)
+            assert service.index.store_loads == loads_before, (
+                "warm queries re-read the store"
+            )
+            cache = service.cache.stats()
+        finally:
+            server.shutdown()
+            server.server_close()
+    return {"cold": cold, "warm": warm, "cache": cache, "cells": cells}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=400,
+                        help="settled cells in the synthesized store")
+    parser.add_argument("--requests", type=int, default=300,
+                        help="requests per mode (cold and warm)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output JSON path")
+    parser.add_argument("--trend", metavar="TREND_JSONL",
+                        default=str(Path(__file__).parent / "results"
+                                    / "trend.jsonl"),
+                        help="append a one-line summary of this run to a "
+                        "JSONL trend file (consumed by `repro obs report`)")
+    parser.add_argument("--no-trend", action="store_true",
+                        help="skip the trend-file append")
+    args = parser.parse_args(argv)
+
+    print(f"# service: {args.cells} cells, {args.requests} requests "
+          "per mode over loopback HTTP ...", flush=True)
+    result = bench_service(args.cells, args.requests)
+    for mode in ("cold", "warm"):
+        stats = result[mode]
+        print(f"#   {mode}: {stats['queries_per_sec']:,.0f} q/s "
+              f"(p50 {stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms)")
+    cache = result["cache"]
+    print(f"#   cache: {cache['hits']} hits / {cache['misses']} misses / "
+          f"{cache['evictions']} evictions, {cache['bytes']:,} bytes")
+
+    payload = {
+        "cpu_count": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "git_sha": git_sha(),
+        "unix_time": time.time(),
+        "service": result,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"# written to {args.out}")
+
+    if not args.no_trend:
+        trend_path = Path(args.trend)
+        trend_path.parent.mkdir(parents=True, exist_ok=True)
+        trend_row = {
+            "unix_time": round(payload["unix_time"], 3),
+            "git_sha": payload["git_sha"],
+            "python": payload["python"],
+            "cpu_count": payload["cpu_count"],
+            "service_cold_qps": round(result["cold"]["queries_per_sec"], 1),
+            "service_warm_qps": round(result["warm"]["queries_per_sec"], 1),
+            "service_warm_p99_ms": round(result["warm"]["p99_ms"], 3),
+            "service_cells": args.cells,
+            "service_requests": args.requests,
+        }
+        with open(trend_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(trend_row, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        print(f"# trend appended to {trend_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

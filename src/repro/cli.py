@@ -21,6 +21,9 @@ Usage::
     python -m repro scenario merge a.jsonl b.jsonl --out merged.jsonl
     python -m repro scenario report --store campaign.jsonl
     python -m repro cache gc --max-bytes 512M --max-age 604800
+    python -m repro serve --store-dir results/ --port 8077
+    python -m repro query --url http://127.0.0.1:8077 --metric avg_query_fct
+    python -m repro query --store-dir results/ --scheme ECN# --format csv
 
 ``--full`` switches to paper-scale parameters (equivalent to REPRO_FULL=1);
 experiments accept a ``--seed`` for reproducibility.  ``--jobs N`` (or
@@ -61,6 +64,14 @@ during ``scenario run`` finishes and appends the in-flight shard, then
 exits ``128+signum`` with the store fully resumable.
 ``--dry-run`` (on ``run`` and ``scenario run``) prints the resolved spec
 grid with per-cell cache status and exits without simulating.
+
+``serve`` runs the long-lived results daemon (see DESIGN.md "Results
+service"): read-only HTTP queries over every campaign store under
+``--store-dir``, answered from a summary-tier LRU keyed by store
+fingerprint + query hash, with ``ETag``/304 revalidation and a graceful
+SIGTERM drain.  ``query`` is its client -- point it at a live daemon with
+``--url`` or at a store directory with ``--store-dir`` for the same
+answer computed in-process.
 
 ``validate capture`` snapshots the reduced-scale validation grid into a
 checked-in golden baseline; ``validate run`` replays the same grid (pure
@@ -755,6 +766,146 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows in the slowest-cells table (default: 10)",
     )
+    o_report.add_argument(
+        "--metricz",
+        metavar="PATH",
+        default=None,
+        help="results-service /metricz JSON dump to render as a service "
+        "section (requests, cache hit rate, store loads)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived results daemon: read-only HTTP queries "
+        "over campaign stores with a fingerprint-keyed summary cache",
+    )
+    serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        required=True,
+        help="directory of campaign store JSONL files to serve (scanned "
+        "recursively; sidecars excluded)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="listen address (default: 127.0.0.1; single-host by design)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        metavar="PORT",
+        help="listen port (default: 8077; 0 binds an ephemeral port, "
+        "printed on the startup line)",
+    )
+    serve.add_argument(
+        "--golden-dir",
+        metavar="DIR",
+        default=None,
+        help="golden baseline directory to serve read-only at /goldens",
+    )
+    serve.add_argument(
+        "--cache-max-bytes",
+        metavar="SIZE",
+        default="32M",
+        help="summary-cache byte cap (suffixes K/M/G; default: 32M)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="summary-cache entry TTL (default: none -- entries live "
+        "until LRU eviction or a store change orphans them)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record 'service' flight-recorder events per request",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="query campaign results from a live daemon (--url) or "
+        "straight from a store directory (--store-dir)",
+    )
+    query.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="base URL of a running `repro serve` daemon; with "
+        "--store-dir too, an unreachable daemon falls back in-process",
+    )
+    query.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="store directory for in-process reads (no daemon needed)",
+    )
+    query.add_argument(
+        "--store", default="", metavar="NAME",
+        help="store name relative to the store dir (default: all stores)",
+    )
+    query.add_argument(
+        "--scenario", default="", metavar="NAME",
+        help="filter: exact scenario name",
+    )
+    query.add_argument(
+        "--scheme", default="", metavar="NAME",
+        help="filter: exact scheme name from the cell key",
+    )
+    query.add_argument(
+        "--metric", default="", metavar="NAME",
+        help="filter: exact metric name",
+    )
+    query.add_argument(
+        "--fidelity", default="", metavar="NAME",
+        help="filter: engine fidelity (packet or fluid)",
+    )
+    query.add_argument(
+        "--token", default="", metavar="SUBSTRING",
+        help="filter: substring of any spec token",
+    )
+    query.add_argument(
+        "--status",
+        default="ok",
+        choices=("ok", "failed", "any"),
+        help="cell status to include (default: ok)",
+    )
+    query.add_argument(
+        "--mode",
+        default="summary",
+        choices=("summary", "cells"),
+        help="summary aggregates (mean/p50/p95/p99) or raw cell rows",
+    )
+    query.add_argument(
+        "--format",
+        dest="fmt",
+        default="json",
+        choices=("json", "csv"),
+        help="output format (default: json)",
+    )
+    query.add_argument(
+        "--if-none-match",
+        metavar="ETAG",
+        default="",
+        help="conditional request: expect 304 while the store fingerprint "
+        "is unchanged",
+    )
+    query.add_argument(
+        "--etag-out",
+        metavar="PATH",
+        default=None,
+        help="write the response ETag to PATH (for later --if-none-match)",
+    )
+    query.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the response body to PATH (default: stdout)",
+    )
     return parser
 
 
@@ -1221,14 +1372,15 @@ def _main_cache(args, parser: argparse.ArgumentParser) -> int:
 def _main_obs(args, parser: argparse.ArgumentParser) -> int:
     from .obs import build_report
 
-    if args.store is None and args.trend is None:
-        parser.error("obs report needs --store and/or --trend")
+    if args.store is None and args.trend is None and args.metricz is None:
+        parser.error("obs report needs --store, --trend and/or --metricz")
     if args.top < 1:
         parser.error("--top must be >= 1")
     report = build_report(
         store=args.store,
         resources=args.resources,
         trend=args.trend,
+        metricz=args.metricz,
         top=args.top,
     )
     markdown = report.to_markdown()
@@ -1244,6 +1396,92 @@ def _main_obs(args, parser: argparse.ArgumentParser) -> int:
         with open(args.html, "w", encoding="utf-8") as handle:
             handle.write(report.to_html())
         log.info(f"# html written to {args.html}")
+    return 0
+
+
+def _main_serve(args, parser: argparse.ArgumentParser) -> int:
+    from .service import serve as run_service
+
+    cache_max_bytes = _parse_size(
+        args.cache_max_bytes, parser, "--cache-max-bytes"
+    )
+    if cache_max_bytes <= 0:
+        parser.error("--cache-max-bytes must be > 0")
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        parser.error("--cache-ttl must be > 0 seconds")
+    if not os.path.isdir(args.store_dir):
+        parser.error(f"--store-dir {args.store_dir!r} is not a directory")
+    telemetry = Telemetry(
+        metrics=True,
+        profile=False,
+        trace_categories=["service"] if args.trace else None,
+    )
+    return run_service(
+        args.store_dir,
+        host=args.host,
+        port=args.port,
+        golden_dir=args.golden_dir,
+        cache_max_bytes=cache_max_bytes,
+        cache_ttl=args.cache_ttl,
+        telemetry=telemetry,
+    )
+
+
+def _main_query(args, parser: argparse.ArgumentParser) -> int:
+    from .service import ResultsService, ServiceClient, ServiceUnavailable
+
+    if args.url is None and args.store_dir is None:
+        parser.error("query needs --url and/or --store-dir")
+    params = {
+        "store": args.store,
+        "scenario": args.scenario,
+        "scheme": args.scheme,
+        "metric": args.metric,
+        "fidelity": args.fidelity,
+        "token": args.token,
+        "status": args.status,
+        "mode": args.mode,
+        "format": args.fmt,
+    }
+    status = etag = body = None
+    if args.url is not None:
+        try:
+            response = ServiceClient(args.url).query(
+                params, etag=args.if_none_match
+            )
+            status, etag, body = response.status, response.etag, response.body
+        except ServiceUnavailable as exc:
+            if args.store_dir is None:
+                log.error(f"# query: {exc}")
+                return 1
+            # warning -> stderr, keeping stdout pure JSON/CSV for pipes
+            log.warning(f"# query: daemon unreachable, reading "
+                        f"{args.store_dir} in-process")
+    if status is None:
+        service = ResultsService(args.store_dir)
+        response = service.dispatch(
+            "/query",
+            {k: v for k, v in params.items() if v},
+            {"If-None-Match": args.if_none_match},
+        )
+        status, etag, body = response.status, response.etag, response.body
+    if args.etag_out is not None and etag:
+        with open(args.etag_out, "w", encoding="utf-8") as handle:
+            handle.write(etag + "\n")
+    if status == 304:
+        print(f"# not modified (etag {etag})")
+        return 0
+    if status != 200:
+        detail = body.decode("utf-8", "replace").strip()
+        log.error(f"# query failed: HTTP {status} {detail}")
+        return 1
+    text = body.decode("utf-8")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        log.info(f"# query result written to {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -1265,6 +1503,10 @@ def main(argv: Optional[list] = None) -> int:
         return _main_cache(args, parser)
     if args.command == "obs":
         return _main_obs(args, parser)
+    if args.command == "serve":
+        return _main_serve(args, parser)
+    if args.command == "query":
+        return _main_query(args, parser)
     return _main_run(args, parser)
 
 

@@ -266,13 +266,15 @@ class CacheGcStats:
     kept: int = 0
     kept_bytes: int = 0
     corrupt_removed: int = 0
+    corrupt_kept: int = 0
 
     def summary_line(self) -> str:
         return (
             f"scanned={self.scanned} removed={self.removed} "
             f"removed_bytes={self.removed_bytes} kept={self.kept} "
             f"kept_bytes={self.kept_bytes} "
-            f"corrupt_removed={self.corrupt_removed}"
+            f"corrupt_removed={self.corrupt_removed} "
+            f"corrupt_kept={self.corrupt_kept}"
         )
 
 
@@ -430,6 +432,7 @@ class ResultCache:
                 if is_corrupt and not remove_corrupt:
                     stats.kept += 1
                     stats.kept_bytes += stat.st_size
+                    stats.corrupt_kept += 1
                     continue
                 if self._gc_remove(path, stat.st_size, stats):
                     if is_corrupt:

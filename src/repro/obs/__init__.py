@@ -8,6 +8,6 @@ already on disk, so it is safe to run anywhere (CI artifact jobs, a
 laptop inspecting a store copied off a build machine).
 """
 
-from .report import ObsReport, build_report
+from .report import ObsReport, build_report, summarize_metricz
 
-__all__ = ["ObsReport", "build_report"]
+__all__ = ["ObsReport", "build_report", "summarize_metricz"]

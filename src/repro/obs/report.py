@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ObsReport", "build_report"]
+__all__ = ["ObsReport", "build_report", "summarize_metricz"]
 
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -114,6 +114,7 @@ class ObsReport:
     resources: List[Dict[str, Any]] = field(default_factory=list)
     scheme_rows: List[Dict[str, Any]] = field(default_factory=list)
     trend: List[Dict[str, Any]] = field(default_factory=list)
+    service: Dict[str, Any] = field(default_factory=dict)
     top: int = 10
 
     # ------------------------------------------------------------- derived
@@ -229,6 +230,35 @@ class ObsReport:
                     ],
                 ) + [""]
 
+        if self.service:
+            lines += ["## Results service", ""]
+            cache = self.service.get("cache", {})
+            hits = cache.get("hits", 0)
+            misses = cache.get("misses", 0)
+            lookups = hits + misses
+            lines += self._md_table(
+                ["metric", "value"],
+                [
+                    ["uptime seconds",
+                     round(self.service.get("uptime_seconds") or 0.0, 1)],
+                    ["store loads (disk)", self.service.get("store_loads")],
+                    ["summary-cache entries", cache.get("entries")],
+                    ["summary-cache bytes", cache.get("bytes")],
+                    ["summary-cache hits", hits],
+                    ["summary-cache misses", misses],
+                    ["summary-cache evictions", cache.get("evictions")],
+                    ["summary-cache hit rate %",
+                     round(hits / lookups * 100, 1) if lookups else None],
+                ],
+            ) + [""]
+            requests = self.service.get("requests", [])
+            if requests:
+                lines += self._md_table(
+                    ["endpoint", "status", "requests"],
+                    [[r["endpoint"], r["status"], r["count"]]
+                     for r in requests],
+                ) + [""]
+
         lines += ["## Engine throughput trend", ""]
         if not self.trend:
             lines += ["No trend data (run `benchmarks/perf_engine.py`).", ""]
@@ -239,7 +269,8 @@ class ObsReport:
                 lines += [f"`{spark}` (oldest → newest events/sec)", ""]
             lines += self._md_table(
                 ["commit", "python", "cpus", "events/sec", "pkt events/sec",
-                 "fluid flows/sec", "fluid speedup", "sweep speedup"],
+                 "fluid flows/sec", "fluid speedup", "sweep speedup",
+                 "svc warm q/s", "svc p99 ms"],
                 [
                     [
                         (row.get("git_sha") or "-")[:12],
@@ -249,6 +280,8 @@ class ObsReport:
                         row.get("fluid_flows_per_sec"),
                         row.get("fluid_speedup_vs_packet"),
                         row.get("sweep_speedup"),
+                        row.get("service_warm_qps"),
+                        row.get("service_warm_p99_ms"),
                     ]
                     for row in self.trend
                 ],
@@ -318,19 +351,67 @@ class ObsReport:
         )
 
 
+def _parse_series_key(key: str) -> "tuple[str, Dict[str, str]]":
+    """Split a registry series key (``name{k=v,k2=v2}``) into name + labels."""
+    if "{" not in key:
+        return key, {}
+    name, rest = key.split("{", 1)
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if "=" in pair:
+            label, value = pair.split("=", 1)
+            labels[label] = value
+    return name, labels
+
+
+def summarize_metricz(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Distill a ``/metricz`` dump into the report's service section:
+    cache stats verbatim plus per-endpoint request counts parsed out of
+    the ``service_requests_total`` counter series."""
+    counters = payload.get("metrics", {}).get("counters", {})
+    requests: List[Dict[str, Any]] = []
+    for key, count in sorted(counters.items()):
+        name, labels = _parse_series_key(key)
+        if name != "service_requests_total":
+            continue
+        requests.append({
+            "endpoint": labels.get("endpoint", "-"),
+            "status": labels.get("status", "-"),
+            "count": count,
+        })
+    return {
+        "cache": payload.get("cache", {}),
+        "store_loads": payload.get("store_loads"),
+        "uptime_seconds": payload.get("uptime_seconds"),
+        "requests": requests,
+    }
+
+
 def build_report(
     store: "Path | str | None" = None,
     resources: "Path | str | None" = None,
     trend: "Path | str | None" = None,
+    metricz: "Path | str | None" = None,
     top: int = 10,
 ) -> ObsReport:
     """Assemble an :class:`ObsReport` from whichever inputs exist.
 
-    ``resources`` defaults to the store's sidecar path.  Every input is
-    optional; missing files yield empty report sections rather than
+    ``resources`` defaults to the store's sidecar path.  ``metricz`` is a
+    JSON dump of the results daemon's ``/metricz`` endpoint.  Every input
+    is optional; missing files yield empty report sections rather than
     errors, so one command works for a store-only or trend-only setup.
     """
     report = ObsReport(top=top)
+
+    if metricz is not None:
+        path = Path(metricz)
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                payload = {}
+            if isinstance(payload, dict) and payload:
+                report.service = summarize_metricz(payload)
 
     records: List[Dict[str, Any]] = []
     if store is not None:

@@ -53,7 +53,14 @@ RecordKey = Tuple[str, Tuple[str, ...]]  # (scenario content hash, spec tokens)
 
 @dataclass(frozen=True)
 class CellRecord:
-    """One settled campaign cell (one JSONL line)."""
+    """One settled campaign cell (one JSONL line).
+
+    ``fidelity`` follows the same elision rule as
+    :meth:`~repro.experiments.specs.RunSpec.with_fidelity`: ``"packet"`` is
+    the implicit default and is omitted from the serialized record, so
+    packet-fidelity stores stay byte-identical to pre-fidelity ones (same
+    fingerprints, same resume behavior); only fluid cells carry the field.
+    """
 
     scenario: str
     scenario_hash: str
@@ -65,13 +72,14 @@ class CellRecord:
     failures: Tuple[Dict[str, str], ...]
     git_sha: Optional[str]
     version: str
+    fidelity: str = "packet"
 
     @property
     def key(self) -> RecordKey:
         return (self.scenario_hash, self.tokens)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scenario": self.scenario,
             "scenario_hash": self.scenario_hash,
             "cell_key": self.cell_key,
@@ -83,6 +91,9 @@ class CellRecord:
             "git_sha": self.git_sha,
             "version": self.version,
         }
+        if self.fidelity != "packet":
+            data["fidelity"] = self.fidelity
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellRecord":
@@ -97,6 +108,7 @@ class CellRecord:
             failures=tuple(data.get("failures", [])),
             git_sha=data.get("git_sha"),
             version=data.get("version", ""),
+            fidelity=data.get("fidelity", "packet"),
         )
 
 
@@ -310,6 +322,7 @@ def _settle(
         failures=tuple(summary["failures"]),
         git_sha=sha,
         version=version,
+        fidelity=cell.specs[0].fidelity if cell.specs else "packet",
     )
 
 

@@ -56,6 +56,8 @@ __all__ = [
     "StoreLock",
     "canonical_records",
     "default_worker_id",
+    "fingerprint_records",
+    "merge_resources",
     "merge_stores",
     "store_fingerprint",
 ]
@@ -503,23 +505,38 @@ class MergeResult:
     ok_cells: int = 0
     failed_cells: int = 0
     duplicates_collapsed: int = 0
+    resource_rows: int = 0
+    resource_rows_collapsed: int = 0
 
     def summary_line(self) -> str:
-        return (
+        line = (
             f"cells={len(self.records)} ok={self.ok_cells} "
             f"failed={self.failed_cells} inputs={self.input_records} "
             f"collapsed={self.duplicates_collapsed}"
         )
+        # Suffix only when sidecars were actually merged: the base five
+        # tokens are a stable grep surface for tests and CI.
+        if self.resource_rows:
+            line += (
+                f" resources={self.resource_rows}"
+                f" resources_collapsed={self.resource_rows_collapsed}"
+            )
+        return line
 
 
 def _record_content(record: CellRecord) -> dict:
     """The comparable payload of a record: everything except provenance
     (git sha / package version legitimately differ across workers that
     ran the same code state on different checkouts of the same commit --
-    but metrics, status and failures must agree)."""
+    but metrics, status and failures must agree).  ``fidelity`` is also
+    excluded: it is denormalized from the spec tokens (which embed the
+    fidelity-bearing spec hash), so a legacy record written before the
+    field existed and a fresh one for the same tokens are the same cell.
+    """
     data = record.to_dict()
     data.pop("git_sha", None)
     data.pop("version", None)
+    data.pop("fidelity", None)
     return data
 
 
@@ -562,6 +579,12 @@ def merge_stores(
 
     ``output`` may be one of the inputs (everything is read before the
     atomic replace) or ``None`` to merge without writing.
+
+    Resource sidecars (``<stem>.resources.jsonl``) merge alongside the main
+    store: all input sidecar rows are concatenated, deduped by
+    ``(scenario, cell_key)`` with the latest (last input, last row) winning,
+    and written sorted to the output's sidecar -- so per-cell attribution
+    survives a multi-host merge.  Sidecar loss never blocks the merge.
     """
     per_key, total = canonical_records(inputs)
     result = MergeResult(input_records=total)
@@ -589,6 +612,9 @@ def merge_stores(
     if conflicts:
         raise MergeConflictError(conflicts)
     result.records.sort(key=_canonical_sort_key)
+    merged_resources, input_rows = merge_resources(inputs)
+    result.resource_rows = len(merged_resources)
+    result.resource_rows_collapsed = input_rows - len(merged_resources)
     if output is not None:
         out_store = (
             output
@@ -596,7 +622,33 @@ def merge_stores(
             else CampaignStore(output)
         )
         _write_canonical(out_store.path, result.records)
+        if merged_resources:
+            _write_jsonl_atomic(out_store.resources_path, merged_resources)
     return result
+
+
+def merge_resources(
+    inputs: Sequence["CampaignStore | Path | str"],
+) -> Tuple[List[Dict[str, object]], int]:
+    """``(merged sidecar rows, total input rows)`` for ``inputs``.
+
+    Rows are concatenated in input order, deduped by
+    ``(scenario, cell_key)`` latest-wins, and sorted by that key so the
+    merge is order-independent and idempotent.  Missing sidecars contribute
+    nothing (they are observability data, never campaign state)."""
+    latest: Dict[Tuple[object, object], Dict[str, object]] = {}
+    total = 0
+    for raw in inputs:
+        store = raw if isinstance(raw, CampaignStore) else CampaignStore(raw)
+        rows = store.load_resources()
+        total += len(rows)
+        for row in rows:
+            latest[(row.get("scenario"), row.get("cell_key"))] = row
+    merged = [
+        latest[key]
+        for key in sorted(latest, key=lambda k: (str(k[0]), str(k[1])))
+    ]
+    return merged, total
 
 
 def _write_canonical(path: Path, records: Sequence[CellRecord]) -> None:
@@ -615,6 +667,31 @@ def _write_canonical(path: Path, records: Sequence[CellRecord]) -> None:
     os.replace(tmp, path)
 
 
+def _write_jsonl_atomic(path: Path, rows: Sequence[Dict[str, object]]) -> None:
+    """Atomically (re)write ``path`` as one compact JSON row per line."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".merge-tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def fingerprint_records(records: Iterable[CellRecord]) -> bytes:
+    """Canonical bytes of a set of settled cells: sorted, serialized
+    exactly as the store writes them.  The service's store index calls
+    this on records it already holds in memory, avoiding a second disk
+    read per revalidation."""
+    lines = [
+        json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+        for record in sorted(records, key=_canonical_sort_key)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+
 def store_fingerprint(store: "CampaignStore | Path | str") -> bytes:
     """Canonical bytes of a store's settled cells: latest record per key,
     sorted, serialized exactly as the store writes them.  Two stores with
@@ -623,9 +700,4 @@ def store_fingerprint(store: "CampaignStore | Path | str") -> bytes:
     """
     if not isinstance(store, CampaignStore):
         store = CampaignStore(store)
-    index = store.load()
-    lines = [
-        json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
-        for record in sorted(index.values(), key=_canonical_sort_key)
-    ]
-    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+    return fingerprint_records(store.load().values())

@@ -1,0 +1,104 @@
+"""Stdlib HTTP client for the results daemon (backs ``repro query``).
+
+``urllib.request`` only -- no new dependencies.  A connection failure
+raises :class:`ServiceUnavailable`, which the CLI catches to fall back to
+an in-process read of the store directory; HTTP-level errors (400/404)
+surface as normal responses so callers see the daemon's error payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+__all__ = ["QueryResponse", "ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(RuntimeError):
+    """The daemon could not be reached at all (connection refused, DNS,
+    timeout) -- distinct from an HTTP error response."""
+
+
+@dataclass
+class QueryResponse:
+    """One HTTP exchange with the daemon."""
+
+    status: int
+    body: bytes = b""
+    etag: str = ""
+    content_type: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ServiceClient:
+    """Minimal GET client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def get(
+        self,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+        accept: str = "application/json",
+        etag: str = "",
+    ) -> QueryResponse:
+        """GET ``path`` (optionally with ``If-None-Match: etag``); returns
+        the response whether 2xx, 304 or an HTTP error."""
+        url = self.base_url + path
+        query = {k: v for k, v in (params or {}).items() if v}
+        if query:
+            url += "?" + urlencode(query)
+        headers = {"Accept": accept}
+        if etag:
+            headers["If-None-Match"] = etag
+        request = Request(url, headers=headers, method="GET")
+        try:
+            with urlopen(request, timeout=self.timeout) as raw:
+                return self._wrap(raw.status, dict(raw.headers), raw.read())
+        except HTTPError as err:
+            # 304 and 4xx/5xx both land here with urllib; surface them.
+            body = err.read() if err.fp is not None else b""
+            return self._wrap(err.code, dict(err.headers or {}), body)
+        except (URLError, OSError, TimeoutError) as err:
+            raise ServiceUnavailable(
+                f"cannot reach results service at {self.base_url}: {err}"
+            ) from err
+
+    @staticmethod
+    def _wrap(status: int, headers: Dict[str, str],
+              body: bytes) -> QueryResponse:
+        return QueryResponse(
+            status=status,
+            body=body,
+            etag=headers.get("ETag", ""),
+            content_type=headers.get("Content-Type", ""),
+            headers=headers,
+        )
+
+    # -------------------------------------------------------- typed helpers
+
+    def healthz(self) -> dict:
+        return self.get("/healthz").json()
+
+    def metricz(self) -> dict:
+        return self.get("/metricz").json()
+
+    def stores(self) -> dict:
+        return self.get("/stores").json()
+
+    def query(
+        self,
+        params: Optional[Dict[str, str]] = None,
+        accept: str = "application/json",
+        etag: str = "",
+    ) -> QueryResponse:
+        return self.get("/query", params=params, accept=accept, etag=etag)

@@ -197,6 +197,28 @@ class Telemetry:
         if recorder is not None and recorder.wants("resilience"):
             recorder.emit(0.0, "resilience", "chaos_injection", mode=mode)
 
+    # --------------------------------------------------------- service hooks
+
+    def on_service_request(
+        self,
+        endpoint: str,
+        status: int,
+        cache: str,
+        wall_seconds: float,
+    ) -> None:
+        """Record one results-service request: ``endpoint`` is the route
+        (``query``, ``stores``, ``healthz``, ``metricz``), ``cache`` is how
+        it was answered (``hit``, ``miss``, ``not_modified``, ``none``)."""
+        self.registry.counter(
+            "service_requests_total", endpoint=endpoint, status=str(status)
+        ).inc()
+        recorder = self.recorder
+        if recorder is not None and recorder.wants("service"):
+            recorder.emit(
+                0.0, "service", endpoint,
+                status=status, cache=cache, wall_seconds=wall_seconds,
+            )
+
     # ----------------------------------------------------------- fluid hooks
 
     def on_fluid_run(

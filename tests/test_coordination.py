@@ -246,6 +246,51 @@ class TestMerge:
                 for line in out.read_text().splitlines()]
         assert keys == ["k1", "k2"]
 
+    def test_sidecars_merge_with_latest_wins_dedupe(self, tmp_path):
+        a = self.store(tmp_path, "a.jsonl", [record("k1")])
+        b = self.store(tmp_path, "b.jsonl", [record("k2")])
+        a.append_resources([
+            {"scenario": "s", "cell_key": "k1", "wall_seconds": 1.0},
+        ])
+        b.append_resources([
+            {"scenario": "s", "cell_key": "k1", "wall_seconds": 9.0},
+            {"scenario": "s", "cell_key": "k2", "wall_seconds": 2.0},
+        ])
+        out = tmp_path / "m.jsonl"
+        merged = merge_stores([a, b], output=out)
+        assert merged.resource_rows == 2
+        assert merged.resource_rows_collapsed == 1
+        assert merged.summary_line().endswith(
+            "resources=2 resources_collapsed=1"
+        )
+        rows = CampaignStore(out).load_resources()
+        by_key = {row["cell_key"]: row for row in rows}
+        assert by_key["k1"]["wall_seconds"] == 9.0  # latest input wins
+        assert by_key["k2"]["wall_seconds"] == 2.0
+
+    def test_sidecar_merge_is_idempotent(self, tmp_path):
+        a = self.store(tmp_path, "a.jsonl", [record("k1")])
+        b = self.store(tmp_path, "b.jsonl", [record("k2")])
+        a.append_resources([{"scenario": "s", "cell_key": "k1", "w": 1}])
+        b.append_resources([{"scenario": "s", "cell_key": "k2", "w": 2}])
+        once = tmp_path / "once.jsonl"
+        merge_stores([a, b], output=once)
+        twice = tmp_path / "twice.jsonl"
+        merge_stores([CampaignStore(once), b], output=twice)
+        assert (
+            CampaignStore(once).resources_path.read_bytes()
+            == CampaignStore(twice).resources_path.read_bytes()
+        )
+
+    def test_missing_sidecars_do_not_block_merge(self, tmp_path):
+        a = self.store(tmp_path, "a.jsonl", [record("k1")])
+        out = tmp_path / "m.jsonl"
+        merged = merge_stores([a], output=out)
+        assert merged.resource_rows == 0
+        # no rows -> no sidecar file, and the summary keeps its legacy shape
+        assert not CampaignStore(out).resources_path.exists()
+        assert "resources=" not in merged.summary_line()
+
     def test_cli_merge_conflict_exits_nonzero(self, tmp_path):
         from repro.cli import main
 

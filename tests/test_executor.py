@@ -299,6 +299,8 @@ class TestCacheGc:
         self.entry(tmp_path, "b.pkl.corrupt")
         stats = cache.gc(remove_corrupt=False)
         assert stats.corrupt_removed == 0
+        assert stats.corrupt_kept == 1
+        assert "corrupt_kept=1" in stats.summary_line()
         assert (tmp_path / "b.pkl.corrupt").exists()
 
     def test_age_eviction(self, tmp_path):
@@ -330,10 +332,11 @@ class TestCacheGc:
 
     def test_summary_line(self):
         stats = CacheGcStats(scanned=3, removed=1, removed_bytes=10,
-                             kept=2, kept_bytes=20, corrupt_removed=1)
+                             kept=2, kept_bytes=20, corrupt_removed=1,
+                             corrupt_kept=1)
         assert stats.summary_line() == (
             "scanned=3 removed=1 removed_bytes=10 kept=2 kept_bytes=20 "
-            "corrupt_removed=1"
+            "corrupt_removed=1 corrupt_kept=1"
         )
 
 
